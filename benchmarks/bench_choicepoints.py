@@ -1,0 +1,91 @@
+"""E7 — choice-point reference share (paper §3.2.1).
+
+"Empirical studies of the WAM [19] have asserted that choice point
+references are the single most significant contributor to the total
+number of data references ... an average of 52% of data references are
+identified as choice point references."
+
+The machine counts choice-point field traffic separately, so we can
+report the share directly — on a classic non-deterministic program mix
+and on the MVV workload — and show how first-argument indexing and the
+deterministic EDB collect-at-once erase it.
+"""
+
+import pytest
+
+from repro.engine.stats import measure
+from repro.wam.machine import Machine
+
+from conftest import record
+
+NONDET_PROGRAM = """
+color(r). color(g). color(b). color(y).
+adj(1,2). adj(1,3). adj(2,3). adj(2,4). adj(3,4).
+ok(A-CA, B-CB) :- (adj(A,B) ; adj(B,A)), !, CA \\== CB.
+ok(_, _).
+colouring([C1,C2,C3,C4]) :-
+    color(C1), color(C2), color(C3), color(C4),
+    ok(1-C1, 2-C2), ok(1-C1, 3-C3), ok(2-C2, 3-C3),
+    ok(2-C2, 4-C4), ok(3-C3, 4-C4).
+"""
+
+
+def test_choicepoint_share_nondeterministic(benchmark):
+    """Unindexed, heavily non-deterministic search: the cp share of data
+    references must be substantial (the Touati & Despain regime)."""
+    m = Machine(index=False)
+    m.consult(NONDET_PROGRAM)
+
+    def run():
+        m.count_solutions("colouring(_)")
+
+    with measure(m) as meas:
+        benchmark.pedantic(run, rounds=3, iterations=1)
+    share = meas["cp_refs"] / max(meas["data_refs"], 1)
+    record(benchmark, meas, cp_share=round(share, 3),
+           paper_share=0.52, indexing=False)
+    assert share > 0.15
+
+
+def test_indexing_cuts_choicepoint_traffic(benchmark):
+    """§3.2.2: indexing turns non-deterministic procedures
+    deterministic; cp references collapse."""
+    program = "".join(f"item(k{i}, {i}).\n" for i in range(50))
+    goals = [f"item(k{i}, _)" for i in range(50)]
+
+    results = {}
+
+    def run():
+        for index in (True, False):
+            m = Machine(index=index)
+            m.consult(program)
+            with measure(m) as meas:
+                for g in goals:
+                    m.solve_once(g)
+            results[index] = meas
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    indexed = results[True]["cp_refs"]
+    plain = results[False]["cp_refs"]
+    benchmark.extra_info["cp_refs_indexed"] = indexed
+    benchmark.extra_info["cp_refs_unindexed"] = plain
+    benchmark.extra_info["reduction_factor"] = round(
+        plain / max(indexed, 1), 1)
+    assert indexed < plain / 3
+
+
+def test_mvv_choicepoint_profile(benchmark, mvv_star, mvv_data):
+    """The share on the real workload, with indexing + deterministic
+    EDB fetch in place (the paper's design target: keep it low)."""
+    from repro.workloads import mvv
+    queries = mvv.class2_queries(mvv_data, 3)
+
+    def run():
+        for q in queries:
+            for _ in mvv_star.solve(q):
+                pass
+
+    with measure(mvv_star) as meas:
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    share = meas["cp_refs"] / max(meas["data_refs"], 1)
+    record(benchmark, meas, cp_share=round(share, 3))

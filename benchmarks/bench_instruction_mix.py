@@ -1,0 +1,64 @@
+"""Ablation — WAM instruction mix (paper §2.1, §3.2).
+
+The WAM's term-oriented compilation determines a characteristic opcode
+distribution: get/unify head traffic dominates data movement, and the
+choice instructions' share tracks procedure determinism.  This bench
+records the opcode histogram for three classic program shapes —
+deterministic recursion, list processing, and non-deterministic search —
+as the raw data behind the paper's architectural arguments.
+"""
+
+import pytest
+
+from repro.wam.debugger import instruction_profile
+from repro.wam.machine import Machine
+
+PROGRAMS = {
+    "deterministic-recursion": (
+        "count(N, N) :- !. "
+        "count(I, N) :- I < N, I1 is I + 1, count(I1, N).",
+        "count(0, 2000)",
+    ),
+    "list-processing": (
+        "nrev([], []). "
+        "nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).",
+        "nrev([a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p], _)",
+    ),
+    "nondeterministic-search": (
+        "d(X) :- member(X, [1,2,3,4,5,6,7,8]). "
+        "pair(X, Y) :- d(X), d(Y), X + Y =:= 9.",
+        "findall(X-Y, pair(X, Y), _)",
+    ),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(PROGRAMS))
+def test_instruction_mix(benchmark, shape):
+    program, goal = PROGRAMS[shape]
+    machine = Machine()
+    machine.consult(program)
+
+    state = {}
+
+    def run():
+        state["profile"] = instruction_profile(machine, goal)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    profile = state["profile"]
+    total = sum(profile.values())
+    top = sorted(profile.items(), key=lambda kv: -kv[1])[:6]
+    benchmark.extra_info["total_instructions"] = total
+    benchmark.extra_info["top_opcodes"] = {
+        op: round(n / total, 3) for op, n in top}
+
+    # Structural expectations per shape.
+    if shape == "deterministic-recursion":
+        choice = sum(profile.get(op, 0) for op in
+                     ("try_me_else", "retry_me_else", "try", "retry"))
+        assert choice / total < 0.25
+    if shape == "list-processing":
+        head = sum(n for op, n in profile.items()
+                   if op.startswith(("get_", "unify_")))
+        assert head / total > 0.3  # data movement dominates
+    if shape == "nondeterministic-search":
+        assert profile.get("try_me_else", 0) + profile.get("try", 0) > 0

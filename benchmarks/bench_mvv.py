@@ -1,0 +1,100 @@
+"""E1 — Table 1: MVV knowledge-base query times (paper §5.1).
+
+Reproduces the table's structure: Class 1 (simple) and Class 2
+(involved) query samples, first run vs second run (buffer warm-up), on
+both systems:
+
+* **Educe*** — compiled rules internal, facts in the EDB;
+* **Educe**  — the interpreted baseline with the fetch/parse/assert/
+  erase cycle.
+
+The paper's qualitative findings to check (EXPERIMENTS.md):
+Educe* well below Educe; no significant first-vs-second-run distortion;
+CPU dominates I/O.
+"""
+
+import pytest
+
+from repro.engine.stats import measure
+
+from conftest import record
+
+N_QUERIES = 10  # "a sample of ten queries from each class" (§5.1)
+
+
+def _queries(mvv_data, klass):
+    from repro.workloads import mvv
+    if klass == 1:
+        return mvv.class1_queries(mvv_data, N_QUERIES)
+    return mvv.class2_queries(mvv_data, N_QUERIES)
+
+
+def _run_sample(engine, queries):
+    for q in queries:
+        for _ in engine.solve(q):
+            pass
+
+
+@pytest.mark.parametrize("klass,paper_first_s,paper_second_s", [
+    (1, 0.9, 0.9),    # Table 1 Class 1 magnitude (seconds, Educe*)
+    (2, 4.0, 4.0),    # Table 1 Class 2 magnitude
+])
+def test_educestar_first_run(benchmark, mvv_star, mvv_data,
+                             klass, paper_first_s, paper_second_s):
+    queries = _queries(mvv_data, klass)
+    mvv_star.loader.invalidate()   # cold loader == first run
+
+    def first_run():
+        mvv_star.loader.invalidate()
+        _run_sample(mvv_star, queries)
+
+    with measure(mvv_star) as m:
+        benchmark.pedantic(first_run, rounds=3, iterations=1)
+    record(benchmark, m, system="educe*", klass=klass, run="first",
+           paper_s=paper_first_s)
+
+
+@pytest.mark.parametrize("klass", [1, 2])
+def test_educestar_second_run(benchmark, mvv_star, mvv_data, klass):
+    queries = _queries(mvv_data, klass)
+    _run_sample(mvv_star, queries)  # warm the loader cache + buffers
+
+    def second_run():
+        _run_sample(mvv_star, queries)
+
+    with measure(mvv_star) as m:
+        benchmark.pedantic(second_run, rounds=3, iterations=1)
+    record(benchmark, m, system="educe*", klass=klass, run="second")
+
+
+@pytest.mark.parametrize("klass,n", [(1, 5), (2, 2)])
+def test_educe_baseline(benchmark, mvv_educe, mvv_data, klass, n):
+    """The Educe column of Table 1 (smaller sample: the baseline is the
+    slow system under test)."""
+    from repro.workloads import mvv
+    queries = (mvv.class1_queries(mvv_data, n) if klass == 1
+               else mvv.class2_queries(mvv_data, n))
+
+    def run():
+        _run_sample(mvv_educe, queries)
+
+    with measure(mvv_educe) as m:
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, m, system="educe", klass=klass,
+           asserts=m["asserts"], erases=m["erases"])
+
+
+def test_cpu_dominates_io(benchmark, mvv_star, mvv_data):
+    """§5.1: "we found the impact of I/O very low in this application"
+    — the CPU share of simulated time must dominate."""
+    queries = _queries(mvv_data, 2)[:5]
+
+    def run():
+        _run_sample(mvv_star, queries)
+
+    with measure(mvv_star) as m:
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    cpu = m.cpu_ms()
+    io = m.io_ms()
+    record(benchmark, m, cpu_share=round(cpu / max(cpu + io, 1e-9), 3))
+    assert cpu > io, "MVV must be CPU-bound (paper §5.1/§5.4)"

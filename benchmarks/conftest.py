@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures.
+
+Scale: ``REPRO_BENCH_SCALE`` (default 1.0) multiplies workload sizes;
+1.0 reproduces the paper's cardinalities exactly.  Set e.g. 0.1 for a
+quick smoke pass.
+
+Every benchmark records, via ``benchmark.extra_info``:
+
+* ``simulated_ms``       — cost-model milliseconds on the paper's
+  Sun 3/280S (4 MIPS, 1990 disc);
+* per-layer counters (instructions, data refs, page reads/writes...);
+* the paper's corresponding number where one exists (``paper_ms``).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def mvv_data():
+    from repro.workloads import mvv
+    return mvv.generate(seed=11, scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def mvv_star(mvv_data):
+    from repro.workloads import mvv
+    return mvv.load_educestar(mvv_data)
+
+
+@pytest.fixture(scope="session")
+def mvv_educe(mvv_data):
+    from repro.workloads import mvv
+    return mvv.load_baseline(mvv_data)
+
+
+@pytest.fixture(scope="session")
+def wisconsin_db():
+    from repro.workloads import wisconsin
+    return wisconsin.WisconsinDB.build(scale=SCALE)
+
+
+def record(benchmark, measurement, **extra):
+    """Attach a Measurement's derived numbers to the benchmark report."""
+    from repro.engine.stats import CostModel
+    model = CostModel()
+    benchmark.extra_info["simulated_ms"] = round(
+        measurement.simulated_ms(model), 3)
+    benchmark.extra_info["sim_cpu_ms"] = round(
+        measurement.cpu_ms(model), 3)
+    benchmark.extra_info["sim_io_ms"] = round(measurement.io_ms(model), 3)
+    for key in ("instr_count", "data_refs", "cp_refs", "reads", "writes",
+                "buffer_hits", "buffer_misses", "tuple_ops",
+                "parsed_chars", "inferences"):
+        if measurement[key]:
+            benchmark.extra_info[key] = measurement[key]
+    benchmark.extra_info.update(extra)

@@ -1,0 +1,14 @@
+"""Repo-root pytest configuration.
+
+Makes the source tree importable even when the package is not installed
+(offline environments cannot always complete ``pip install -e .``:
+modern pip needs the ``wheel`` package for PEP 660 editable installs;
+``python setup.py develop`` is the offline-friendly equivalent).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""An interactive Educe* top level.
+
+A minimal shell over an :class:`~repro.EduceStar` session:
+
+* ``?- Goal.``  or just ``Goal.``     — solve; ``;`` for more answers
+* ``:- Directive.``                    — op/3, pred/1, dynamic/1, ...
+* ``[consult 'file.pl'].`` style loading via the commands below
+* shell commands (no terminating dot):
+
+  =============  ==============================================
+  ``:load F``    consult a Prolog file into main memory
+  ``:store F``   compile a Prolog file into the EDB
+  ``:save F``    persist the EDB
+  ``:open F``    reopen a saved EDB in a fresh session
+  ``:listing P`` show clauses / disassembly for predicate P
+  ``:stats``     machine + loader + I/O counters
+  ``:help``      this text
+  ``:quit``      leave
+  =============  ==============================================
+
+Run:  python examples/repl.py            (interactive)
+      echo "X is 6*7." | python examples/repl.py   (piped)
+"""
+
+import sys
+
+from repro import EduceStar, term_to_text
+from repro.errors import ReproError
+
+
+def show_solutions(session, goal_text: str, interactive: bool) -> None:
+    try:
+        solutions = session.solve(goal_text)
+        found = False
+        for solution in solutions:
+            found = True
+            if solution.bindings:
+                bindings = ",  ".join(
+                    f"{name} = {term_to_text(value)}"
+                    for name, value in sorted(solution.bindings.items()))
+                print(bindings)
+            else:
+                print("true.")
+                break
+            if interactive:
+                answer = input("more? (;) ").strip()
+                if answer != ";":
+                    break
+            else:
+                break
+        if not found:
+            print("false.")
+    except ReproError as exc:
+        print(f"error: {exc}")
+
+
+def command(session, line: str, interactive: bool):
+    parts = line.split(None, 1)
+    cmd = parts[0]
+    arg = parts[1].strip() if len(parts) > 1 else ""
+    if cmd == ":quit":
+        return None
+    if cmd == ":help":
+        print(__doc__)
+    elif cmd == ":load" and arg:
+        session.machine.consult_file(arg)
+        print(f"loaded {arg}")
+    elif cmd == ":store" and arg:
+        with open(arg, "r", encoding="utf-8") as f:
+            session.store_program(f.read())
+        print(f"stored {arg} in the EDB")
+    elif cmd == ":save" and arg:
+        session.save(arg)
+        print(f"saved EDB to {arg}")
+    elif cmd == ":open" and arg:
+        session = EduceStar.open(arg)
+        print(f"opened {arg}")
+    elif cmd == ":listing" and arg:
+        session.machine.output.clear()
+        if session.solve_once(f"listing({arg})") is not None:
+            print("".join(session.machine.output), end="")
+        else:
+            print(f"no such predicate: {arg}")
+    elif cmd == ":stats":
+        for key, value in session.counters().items():
+            print(f"  {key}: {value}")
+        for key, value in session.io_counters().items():
+            print(f"  {key}: {value}")
+    else:
+        print(f"unknown command {line!r}; :help for help")
+    return session
+
+
+def main() -> None:
+    session = EduceStar()
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("Educe* top level — :help for commands, :quit to leave")
+    buffer = ""
+    while True:
+        try:
+            prompt = "?- " if not buffer else "   "
+            line = input(prompt if interactive else "")
+        except EOFError:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        if not buffer and line.startswith(":") and not line.startswith(":-"):
+            session = command(session, line, interactive)
+            if session is None:
+                break
+            continue
+        buffer += " " + line
+        if not buffer.rstrip().endswith("."):
+            continue
+        text = buffer.strip()
+        buffer = ""
+        if text.startswith("?-"):
+            text = text[2:].strip()
+        if text.startswith(":-"):
+            try:
+                session.consult(text + ("" if text.endswith(".") else "."))
+                print("true.")
+            except ReproError as exc:
+                print(f"error: {exc}")
+            continue
+        show_solutions(session, text.rstrip("."), interactive)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""A BANG-style storage engine (substitute for Freeston's BANG file).
+
+The paper stores facts, rules and compiled clause code in BANG relations
+(§4) — a multidimensional dynamic file giving clustered partial-match
+access on any combination of attributes, which is what pre-unification
+filters on.  This package provides:
+
+* :mod:`repro.bang.pager` — a paged "disc" with full read/write
+  accounting (the unit the paper's Table 2b counts);
+* :mod:`repro.bang.buffer` — an LRU buffer pool implementing the
+  block-at-a-time transfer assumption of §2.2;
+* :mod:`repro.bang.grid` — a recursive binary-partition multidimensional
+  index over order-preserving key transforms (BANG's nested-region
+  refinements are approximated by median splits; see DESIGN.md);
+* :mod:`repro.bang.relation` / :mod:`repro.bang.catalog` — typed
+  relations with exact and range partial-match retrieval.
+"""
+
+from .buffer import BufferPool
+from .catalog import AttributeSpec, Catalog, RelationSchema
+from .grid import BangGrid, Box, full_box
+from .pager import DiskStore, Pager
+from .relation import BangRelation
+
+__all__ = [
+    "DiskStore",
+    "Pager",
+    "BufferPool",
+    "BangGrid",
+    "Box",
+    "full_box",
+    "Catalog",
+    "RelationSchema",
+    "AttributeSpec",
+    "BangRelation",
+]

@@ -1,0 +1,99 @@
+"""LRU buffer pool.
+
+§2.2 of the paper: "in the time it takes to read a block of data
+containing several tuples, the previous block can be processed" — the
+relational engine's whole strategy assumes block-at-a-time transfer with
+buffering.  The pool counts hits/misses/evictions so the benchmarks can
+report buffer behaviour (Table 2b's "buffer read/write" row).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from .pager import DiskStore
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of page payloads over a DiskStore."""
+
+    def __init__(self, disk: DiskStore, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: "OrderedDict[int, Any]" = OrderedDict()
+        self._dirty: set = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------ API
+
+    def get(self, page_id: int) -> Any:
+        """Page payload, reading from disc on a miss."""
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        payload = self.disk.read(page_id)
+        self._admit(page_id, payload)
+        return payload
+
+    def put(self, page_id: int, payload: Any) -> None:
+        """Install a new payload for the page and mark it dirty."""
+        if page_id in self._frames:
+            self._frames[page_id] = payload
+            self._frames.move_to_end(page_id)
+        else:
+            self._admit(page_id, payload)
+        self._dirty.add(page_id)
+
+    def install(self, page_id: int, payload: Any) -> None:
+        """Admit a freshly allocated page (dirty, no disc read)."""
+        self._admit(page_id, payload)
+        self._dirty.add(page_id)
+
+    def flush(self) -> None:
+        """Write back every dirty frame."""
+        for page_id in list(self._dirty):
+            self.disk.write(page_id, self._frames.get(page_id))
+            self.writebacks += 1
+        self._dirty.clear()
+
+    def discard(self, page_id: int) -> None:
+        """Drop a page from the pool without write-back (page freed)."""
+        self._frames.pop(page_id, None)
+        self._dirty.discard(page_id)
+
+    # ------------------------------------------------------------ internals
+
+    def _admit(self, page_id: int, payload: Any) -> None:
+        while len(self._frames) >= self.capacity:
+            victim, victim_payload = self._frames.popitem(last=False)
+            self.evictions += 1
+            if victim in self._dirty:
+                self.disk.write(victim, victim_payload)
+                self.writebacks += 1
+                self._dirty.discard(victim)
+        self._frames[page_id] = payload
+
+    # ------------------------------------------------------------- counters
+
+    def counters(self) -> dict:
+        return {
+            "buffer_hits": self.hits,
+            "buffer_misses": self.misses,
+            "buffer_evictions": self.evictions,
+            "buffer_writebacks": self.writebacks,
+            "buffer_resident": len(self._frames),
+        }
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0

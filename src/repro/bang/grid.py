@@ -1,0 +1,303 @@
+"""BANG-style multidimensional partition index.
+
+Freeston's BANG file [13, 14] partitions a multidimensional key space
+into nested block regions so that tuples are *clustered* by the values of
+all key attributes simultaneously, giving efficient partial-match and
+range retrieval on any attribute combination — which is exactly the
+access pattern Educe*'s pre-unification needs (filter stored clauses by
+whichever head arguments the query binds, §4).
+
+We implement the load-bearing behaviour with a recursive binary
+partition (k-d style, cyclic dimensions, median splits for balance under
+skew): every leaf is one disc page; a query visits exactly the leaves
+whose region intersects the query box.  BANG's distinctive nested
+("hole-y") regions improve worst-case occupancy but do not change the
+complexity class of partial-match search; DESIGN.md records the
+substitution.
+
+Keys are vectors in ``[0, 1)^k`` produced by the order-preserving
+transforms in :mod:`repro.bang.relation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from .pager import Pager
+
+Box = Tuple[Tuple[float, float], ...]  # inclusive lo, exclusive hi per dim
+
+
+def full_box(ndims: int) -> Box:
+    return tuple((0.0, 1.0) for _ in range(ndims))
+
+
+def point_box(assignment: dict, ndims: int) -> Box:
+    """Box constraining the given dims to points, others unconstrained."""
+    return tuple(
+        (assignment[d], assignment[d]) if d in assignment else (0.0, 1.0)
+        for d in range(ndims)
+    )
+
+
+def _intersects(region: Box, query: Box) -> bool:
+    """Region intervals are half-open [lo, hi); query intervals are
+    closed [lo, hi] (a point query is lo == hi)."""
+    for (rlo, rhi), (qlo, qhi) in zip(region, query):
+        if qhi < rlo or qlo >= rhi:
+            return False
+    return True
+
+
+def key_in_box(key: Sequence[float], query: Box) -> bool:
+    """Closed-interval membership per dimension."""
+    for v, (qlo, qhi) in zip(key, query):
+        if v < qlo or v > qhi:
+            return False
+    return True
+
+
+class _Node:
+    __slots__ = ("region", "dim", "split", "left", "right", "page_id",
+                 "count")
+
+    def __init__(self, region: Box, page_id: Optional[int]):
+        self.region = region
+        self.dim: Optional[int] = None
+        self.split: Optional[float] = None
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.page_id = page_id
+        self.count = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.page_id is not None
+
+
+class BangGrid:
+    """The index proper: a partition tree whose leaves are disc pages.
+
+    Each page payload is a list of ``(key_vector, record)`` pairs.
+    """
+
+    def __init__(self, ndims: int, pager: Pager, bucket_capacity: int = 50):
+        if ndims < 1:
+            raise ValueError("grid needs at least one dimension")
+        self.ndims = ndims
+        self.pager = pager
+        self.bucket_capacity = bucket_capacity
+        self.root = _Node(full_box(ndims), pager.allocate([]))
+        self.size = 0
+        self.leaf_count = 1
+        self.splits = 0
+        self.merges = 0
+
+    # ----------------------------------------------------------------- write
+
+    def insert(self, key: Sequence[float], record: Any) -> None:
+        if len(key) != self.ndims:
+            raise ValueError(f"key arity {len(key)} != {self.ndims}")
+        leaf = self._descend(self.root, key)
+        entries = list(self.pager.get(leaf.page_id) or [])
+        entries.append((tuple(key), record))
+        if len(entries) > self.bucket_capacity:
+            self._split_leaf(leaf, entries)
+        else:
+            self.pager.put(leaf.page_id, entries)
+            leaf.count = len(entries)
+        self.size += 1
+
+    def delete(self, key: Sequence[float], match) -> int:
+        """Delete entries under *key* for which ``match(record)``; returns
+        the number removed.  Every ``compact_every`` deletions, underfull
+        sibling leaves are merged and their pages freed (dynamic-file
+        space reclamation, the analogue of the dictionary's "space should
+        not be wasted" principle)."""
+        leaf = self._descend(self.root, key)
+        entries = list(self.pager.get(leaf.page_id) or [])
+        kept = [(k, r) for (k, r) in entries
+                if not (k == tuple(key) and match(r))]
+        removed = len(entries) - len(kept)
+        if removed:
+            self.pager.put(leaf.page_id, kept)
+            leaf.count = len(kept)
+            self.size -= removed
+            self._deletes_since_compact += removed
+            if self._deletes_since_compact >= self.compact_every:
+                self.compact()
+        return removed
+
+    # ------------------------------------------------------------ compaction
+
+    compact_every = 256
+    _deletes_since_compact = 0
+
+    def compact(self) -> int:
+        """Merge sibling leaves whose combined occupancy fits one bucket
+        and splice out empty leaves; freed pages are released back to the
+        pager.  Runs to a fixpoint.  Returns the number of merges."""
+        total = 0
+        while True:
+            merges = self._compact_node(self.root)
+            if merges == 0:
+                break
+            total += merges
+        self.merges += total
+        self.leaf_count -= total
+        self._deletes_since_compact = 0
+        return total
+
+    def _compact_node(self, node: _Node) -> int:
+        if node.is_leaf:
+            return 0
+        merges = self._compact_node(node.left)   # type: ignore[arg-type]
+        merges += self._compact_node(node.right)  # type: ignore[arg-type]
+        left, right = node.left, node.right
+        assert left is not None and right is not None
+        if (left.is_leaf and right.is_leaf
+                and left.count + right.count <= self.bucket_capacity):
+            # Merge two underfull sibling leaves into one bucket.
+            entries = list(self.pager.get(left.page_id) or [])
+            entries += list(self.pager.get(right.page_id) or [])
+            self.pager.put(left.page_id, entries)
+            self.pager.free(right.page_id)
+            self._become_leaf(node, left.page_id, len(entries))
+            return merges + 1
+        for empty, survivor in ((left, right), (right, left)):
+            if empty.is_leaf and empty.count == 0:
+                # Splice out an empty leaf: the node adopts the surviving
+                # child wholesale (the region widens to the union, which
+                # only ever admits *more* queries — still sound).
+                self.pager.free(empty.page_id)
+                self._adopt(node, survivor)
+                return merges + 1
+        return merges
+
+    @staticmethod
+    def _become_leaf(node: _Node, page_id: int, count: int) -> None:
+        node.page_id = page_id
+        node.count = count
+        node.dim = None
+        node.split = None
+        node.left = None
+        node.right = None
+
+    @staticmethod
+    def _adopt(node: _Node, child: _Node) -> None:
+        node.page_id = child.page_id
+        node.count = child.count
+        node.dim = child.dim
+        node.split = child.split
+        node.left = child.left
+        node.right = child.right
+
+    def _descend(self, node: _Node, key: Sequence[float]) -> _Node:
+        while not node.is_leaf:
+            assert node.dim is not None and node.split is not None
+            if key[node.dim] < node.split:
+                node = node.left  # type: ignore[assignment]
+            else:
+                node = node.right  # type: ignore[assignment]
+        return node
+
+    def _split_leaf(self, leaf: _Node, entries: list) -> None:
+        """Median split on the cyclic next dimension (BANG balance
+        approximation).  Falls back to other dimensions when all keys
+        coincide on the preferred one."""
+        region = leaf.region
+        for attempt in range(self.ndims):
+            dim = (self._region_depth(region) + attempt) % self.ndims
+            values = sorted(k[dim] for k, _ in entries)
+            split = values[len(values) // 2]
+            lo, hi = region[dim]
+            if not (lo < split < hi):
+                continue
+            left_entries = [(k, r) for k, r in entries if k[dim] < split]
+            right_entries = [(k, r) for k, r in entries if k[dim] >= split]
+            if not left_entries or not right_entries:
+                continue
+            left_region = _replace_dim(region, dim, (lo, split))
+            right_region = _replace_dim(region, dim, (split, hi))
+            left = _Node(left_region, leaf.page_id)
+            right = _Node(right_region, self.pager.allocate([]))
+            self.pager.put(left.page_id, left_entries)
+            self.pager.put(right.page_id, right_entries)
+            left.count = len(left_entries)
+            right.count = len(right_entries)
+            leaf.page_id = None
+            leaf.dim = dim
+            leaf.split = split
+            leaf.left = left
+            leaf.right = right
+            self.leaf_count += 1
+            self.splits += 1
+            return
+        # Un-splittable (duplicate keys): oversized bucket, keep going.
+        self.pager.put(leaf.page_id, entries)
+        leaf.count = len(entries)
+
+    @staticmethod
+    def _region_depth(region: Box) -> int:
+        """How many halvings produced this region (for cyclic dims)."""
+        depth = 0
+        for lo, hi in region:
+            width = hi - lo
+            while width < 0.999999:
+                depth += 1
+                width *= 2
+        return depth
+
+    # ------------------------------------------------------------------ read
+
+    def query(self, box: Box) -> Iterator[Any]:
+        """Yield records whose key lies inside *box* (point dims use
+        ``lo == hi``).  Visits only intersecting leaves; every leaf visit
+        is one page access."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not _intersects(node.region, box):
+                continue
+            if node.is_leaf:
+                entries = self.pager.get(node.page_id) or []
+                for key, record in entries:
+                    if key_in_box(key, box):
+                        yield record
+            else:
+                stack.append(node.left)   # type: ignore[arg-type]
+                stack.append(node.right)  # type: ignore[arg-type]
+
+    def scan(self) -> Iterator[Any]:
+        """Full scan in leaf order (clustered)."""
+        yield from self.query(full_box(self.ndims))
+
+    def leaves_for(self, box: Box) -> int:
+        """Number of leaves a query for *box* would touch (planner aid)."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not _intersects(node.region, box):
+                continue
+            if node.is_leaf:
+                count += 1
+            else:
+                stack.append(node.left)   # type: ignore[arg-type]
+                stack.append(node.right)  # type: ignore[arg-type]
+        return count
+
+    def stats(self) -> dict:
+        return {
+            "size": self.size,
+            "leaves": self.leaf_count,
+            "splits": self.splits,
+            "merges": self.merges,
+            "bucket_capacity": self.bucket_capacity,
+        }
+
+
+def _replace_dim(region: Box, dim: int, bounds: Tuple[float, float]) -> Box:
+    return tuple(
+        bounds if i == dim else r for i, r in enumerate(region)
+    )

@@ -1,0 +1,124 @@
+"""Paged storage with I/O accounting.
+
+The "disc" is a byte store keyed by page id; pages are pickled on write
+and unpickled on read, so a page fetch does real (de)serialisation work —
+the CPU/IO split the paper measures (§2.2, §5.4) is therefore observable,
+not merely asserted.
+
+Counters:
+
+* ``reads`` / ``writes`` — page transfers to/from the disc store, the
+  quantity Table 2b reports as "read and write pages";
+* ``bytes_read`` / ``bytes_written`` — transfer volume for the cost
+  model's transfer-time term.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Optional
+
+from ..errors import PageError
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class DiskStore:
+    """The simulated disc: page id → serialized page image."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        self.page_size = page_size
+        self._pages: Dict[int, bytes] = {}
+        self._next_id = 0
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def allocate(self) -> int:
+        """Reserve a fresh page id (no I/O)."""
+        pid = self._next_id
+        self._next_id += 1
+        self._pages[pid] = b""
+        return pid
+
+    def read(self, page_id: int) -> Any:
+        image = self._pages.get(page_id)
+        if image is None:
+            raise PageError(f"page {page_id} does not exist")
+        self.reads += 1
+        self.bytes_read += self.page_size
+        if not image:
+            return None
+        return pickle.loads(image)
+
+    def write(self, page_id: int, payload: Any) -> None:
+        if page_id not in self._pages:
+            raise PageError(f"page {page_id} does not exist")
+        self.writes += 1
+        self.bytes_written += self.page_size
+        self._pages[page_id] = pickle.dumps(payload, protocol=4)
+
+    def free(self, page_id: int) -> None:
+        self._pages.pop(page_id, None)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def io_counters(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "pages": self.page_count,
+        }
+
+
+class Pager:
+    """Page allocation + access through a buffer pool.
+
+    All page traffic goes through :class:`~repro.bang.buffer.BufferPool`;
+    the pager is the single facade storage clients use.
+    """
+
+    def __init__(self, disk: Optional[DiskStore] = None,
+                 buffer_pages: int = 128):
+        from .buffer import BufferPool  # local import to avoid cycle
+        self.disk = disk or DiskStore()
+        self.buffer = BufferPool(self.disk, capacity=buffer_pages)
+
+    def allocate(self, initial: Any = None) -> int:
+        pid = self.disk.allocate()
+        self.buffer.install(pid, initial)
+        return pid
+
+    def get(self, page_id: int) -> Any:
+        return self.buffer.get(page_id)
+
+    def put(self, page_id: int, payload: Any) -> None:
+        self.buffer.put(page_id, payload)
+
+    def flush(self) -> None:
+        self.buffer.flush()
+
+    def free(self, page_id: int) -> None:
+        """Release a page entirely (buffer frame + disc image)."""
+        self.buffer.discard(page_id)
+        self.disk.free(page_id)
+
+    def io_counters(self) -> dict:
+        counters = self.disk.io_counters()
+        counters.update(self.buffer.counters())
+        return counters
+
+    def reset_counters(self) -> None:
+        self.disk.reset_counters()
+        self.buffer.reset_counters()

@@ -1,0 +1,36 @@
+"""The External Data Base: compiled code in secondary storage (§3.1, §4).
+
+This package implements the paper's central mechanism — rules kept in
+the EDB as **compiled WAM code with associative (relative) addresses**
+instead of source text:
+
+* :mod:`repro.edb.external_dict` — the external dictionary (name, arity,
+  hash) that relative code references instead of internal identifiers;
+* :mod:`repro.edb.codec` — serialisation of clause code with external
+  references;
+* :mod:`repro.edb.store` — the procedures table, the per-procedure BANG
+  relation (one ``term`` attribute per head argument + ``clause_id`` +
+  ``code``) and the clauses relation
+  ``(procedure_id, clause_id, relative_code)``;
+* :mod:`repro.edb.preunify` — the pre-unification unit executed "inside
+  Bang": head-argument filtering before a clause is loaded;
+* :mod:`repro.edb.loader` — the dynamic loader: resolves associative
+  addresses against the internal dictionary and splices control and
+  indexing code around the retrieved clause code.
+"""
+
+from .codec import decode_code, encode_code
+from .external_dict import ExternalDictionary
+from .loader import DynamicLoader
+from .preunify import PreUnifier
+from .store import ExternalStore, StoredProcedure
+
+__all__ = [
+    "ExternalDictionary",
+    "encode_code",
+    "decode_code",
+    "ExternalStore",
+    "StoredProcedure",
+    "PreUnifier",
+    "DynamicLoader",
+]

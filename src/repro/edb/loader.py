@@ -1,0 +1,241 @@
+"""The dynamic loader (paper §3.1, component 2).
+
+"This loader, at run time, resolves associative addresses, adds
+procedural and other forms of control code to the clausal code stored in
+the EDB.  This makes the retrieved code runnable in Educe's virtual
+machine."
+
+Given a call to an EDB-stored procedure, the loader:
+
+1. asks the pre-unifier for the typed summaries of the bound argument
+   registers and lets the BANG grid filter the per-procedure relation
+   (attribute-level pre-unification);
+2. fetches the surviving clauses' relative code in one clustered read;
+3. resolves external identifiers to internal dictionary identifiers
+   (:func:`repro.edb.codec.decode_code`) — interning functors this
+   session has not seen;
+4. optionally executes the head prefixes for deeper filtering
+   (:class:`~repro.edb.preunify.PreUnifier`);
+5. splices in control code — try/retry/trust chains and, when more than
+   one clause survives, in-memory first-argument indexing — via
+   :func:`repro.wam.indexing.build_procedure_code`;
+6. caches the runnable block per (procedure, call-pattern, version) so
+   the session never re-resolves unchanged code — the paper's "freeze
+   the definition of the procedure" behaviour without the poor
+   selectivity it complains about.
+
+Facts relations are loaded by generating unit-clause code directly from
+the matching tuples, with no compiler involvement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..wam import instructions as I
+from ..wam.compiler import CompiledClause
+from ..wam.indexing import build_procedure_code
+from .codec import decode_code
+from .preunify import PreUnifier
+from .store import ExternalStore, StoredClause
+
+
+class DynamicLoader:
+    """Per-session loader over one :class:`ExternalStore`."""
+
+    def __init__(self, store: ExternalStore,
+                 preunifier: Optional[PreUnifier] = None,
+                 index: bool = True):
+        self.store = store
+        self.preunifier = preunifier or PreUnifier("full")
+        self.index = index
+        self._cache: Dict[tuple, list] = {}
+        self.loads = 0
+        self.cache_hits = 0
+        self.clauses_fetched = 0
+        self.clauses_delivered = 0
+        self.resolutions = 0  # external->internal address resolutions
+
+    # ------------------------------------------------------------------ API
+
+    def procedure_code(self, machine, name: str, arity: int
+                       ) -> Optional[list]:
+        """Runnable code block for the current call pattern, or None when
+        no stored clause can match."""
+        proc = self.store.lookup(name, arity)
+        if proc is None:
+            return None
+        summaries = self.preunifier.summaries_from_registers(machine, arity)
+        pattern = tuple(sorted(summaries.items()))
+        key = (name, arity, proc.version, pattern, self.preunifier.depth)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+
+        self.loads += 1
+        if proc.mode == "facts":
+            code = self._load_facts(machine, name, arity, summaries)
+        else:
+            code = self._load_rules(machine, name, arity, summaries)
+        self._cache[key] = code
+        return code
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------ rules path
+
+    def _load_rules(self, machine, name: str, arity: int,
+                    summaries: Dict[int, tuple]) -> list:
+        clauses = self.store.fetch_clauses(name, arity, summaries)
+        self.clauses_fetched += len(clauses)
+        if not clauses:
+            return build_procedure_code([])
+
+        proc = self.store.get(name, arity)
+        if proc.mode == "source":
+            return self._load_source(machine, clauses)
+
+        decoded = []
+        for sc in clauses:
+            self.resolutions += _count_refs(sc.relative_code)
+            decoded.append(decode_code(
+                sc.relative_code, machine.dictionary,
+                self.store.external_dict))
+
+        survivors = self.preunifier.filter_by_execution(
+            machine, clauses, decoded)
+        self.clauses_delivered += len(survivors)
+
+        compiled = [
+            self._as_compiled(machine, clauses[i], decoded[i])
+            for i in survivors
+        ]
+        return build_procedure_code(compiled, index=self.index)
+
+    def _as_compiled(self, machine, sc: StoredClause,
+                     code: list) -> CompiledClause:
+        kind, key = _index_key(machine, sc.summaries)
+        return CompiledClause(
+            code=code, head_name="", arity=len(sc.summaries),
+            first_arg_kind=kind, first_arg_key=key)
+
+    # ----------------------------------------------------------- source path
+
+    def _load_source(self, machine, clauses: List[StoredClause]) -> list:
+        """The Educe baseline inside Educe*: parse stored source text and
+        compile it now.  Kept for completeness; the Educe baseline engine
+        (:mod:`repro.engine.educe_baseline`) is the primary consumer of
+        source mode."""
+        compiled = []
+        for sc in clauses:
+            term = machine.reader.read_term(sc.source)
+            compiled.append(machine.compiler.compile_clause(term))
+            machine.compile_count += 1
+        return build_procedure_code(compiled, index=self.index)
+
+    # ------------------------------------------------------------ facts path
+
+    def _load_facts(self, machine, name: str, arity: int,
+                    summaries: Dict[int, tuple]) -> list:
+        """Unit-clause code generated straight from matching tuples —
+        unification pushed into the storage engine, code grouped for one
+        transfer (§3.2.1)."""
+        rows = list(self.store.fetch_facts(
+            name, arity, _facts_assignment(summaries)))
+        self.clauses_fetched += len(rows)
+        self.clauses_delivered += len(rows)
+        compiled = []
+        for row in rows:
+            code = []
+            for i, value in enumerate(row):
+                code.append(
+                    (I.GET_CONSTANT, _value_const(machine, value),
+                     ("x", i)))
+            code.append((I.PROCEED,))
+            kind, key = _fact_index_key(machine, row)
+            compiled.append(CompiledClause(
+                code=code, head_name=name, arity=arity,
+                first_arg_kind=kind, first_arg_key=key))
+        return build_procedure_code(compiled, index=self.index)
+
+    # ------------------------------------------------------------- counters
+
+    def counters(self) -> dict:
+        return {
+            "loads": self.loads,
+            "cache_hits": self.cache_hits,
+            "clauses_fetched": self.clauses_fetched,
+            "clauses_delivered": self.clauses_delivered,
+            "resolutions": self.resolutions,
+            "preunify_executions": self.preunifier.executions,
+            "preunify_rejections": self.preunifier.rejections,
+        }
+
+
+def _facts_assignment(summaries: Dict[int, tuple]) -> Dict[int, object]:
+    """Summaries → plain values for a facts relation query (atoms are
+    stored as their names, numbers as themselves)."""
+    out: Dict[int, object] = {}
+    for pos, summary in summaries.items():
+        if summary[0] in ("atom", "int", "real"):
+            out[pos] = summary[1]
+        # list/struct summaries cannot appear in atomic facts relations;
+        # the call will simply fail during head unification.
+    return out
+
+
+def _value_const(machine, value) -> tuple:
+    if isinstance(value, str):
+        return ("atom", machine.dictionary.intern(value, 0))
+    if isinstance(value, float):
+        return ("flt", value)
+    return ("int", value)
+
+
+def _fact_index_key(machine, row: tuple) -> Tuple[str, Optional[tuple]]:
+    if not row:
+        return ("var", None)
+    first = row[0]
+    if isinstance(first, str):
+        return ("constant", ("atom", machine.dictionary.intern(first, 0)))
+    if isinstance(first, float):
+        return ("constant", ("flt", first))
+    return ("constant", ("int", first))
+
+
+def _index_key(machine, summaries: Tuple[tuple, ...]
+               ) -> Tuple[str, Optional[tuple]]:
+    """First-argument index metadata from stored summaries."""
+    if not summaries:
+        return ("var", None)
+    s = summaries[0]
+    kind = s[0]
+    if kind == "var":
+        return ("var", None)
+    if kind == "atom":
+        if s[1] == "[]":
+            return ("nil", ("atom", machine.dictionary.intern("[]", 0)))
+        return ("constant", ("atom", machine.dictionary.intern(s[1], 0)))
+    if kind == "int":
+        return ("constant", ("int", s[1]))
+    if kind == "real":
+        return ("constant", ("flt", s[1]))
+    if kind == "list":
+        return ("list", None)
+    return ("structure",
+            ("fun", machine.dictionary.intern(s[1], s[2])))
+
+
+def _count_refs(code: list) -> int:
+    count = 0
+    for instr in code:
+        for operand in instr[1:]:
+            if isinstance(operand, tuple) and operand and operand[0] == "ext":
+                count += 1
+            elif (isinstance(operand, tuple) and len(operand) == 2
+                  and operand[0] == "atom"
+                  and isinstance(operand[1], tuple)):
+                count += 1
+    return count

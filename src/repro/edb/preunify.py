@@ -1,0 +1,276 @@
+"""Pre-unification on external storage (paper §4).
+
+"Bang can directly execute compiled code kept in the clauses relation.
+However ... successful execution is a necessary but not sufficient
+requirement" — the storage engine executes a clause's *head-argument
+code* against the query's bound arguments to decide whether the clause
+is worth loading at all.  Clauses that cannot match never reach the
+emulator, so no choice point is ever created for them (§3.2.1).
+
+Two layers:
+
+* **attribute filtering** — :meth:`summaries_from_registers` turns the
+  caller's argument registers into the typed summaries the per-procedure
+  BANG relation is keyed on; the grid answers the partial match;
+* **code execution** — :meth:`filter_by_execution` runs the retrieved
+  clause's ``get``/``unify`` prefix in a scratch interpreter against the
+  live argument registers, at a configurable *depth*:
+
+  - ``"none"``   — trust the attribute filter only;
+  - ``"shallow"``— execute top-level ``get`` instructions, skipping the
+    argument code of nested structures ("it is possible to select a
+    clause by executing only the code corresponding to the highest
+    levels of nesting");
+  - ``"full"``   — execute the whole head prefix (exact filter).
+
+  The paper explicitly leaves the best depth "a matter for empirical
+  experimentation" — benchmark E9 runs that experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..wam import instructions as I
+from .store import StoredClause
+
+_HEAD_GET_OPS = {
+    I.GET_VARIABLE, I.GET_VALUE, I.GET_CONSTANT, I.GET_NIL,
+    I.GET_STRUCTURE, I.GET_LIST,
+}
+_HEAD_UNIFY_OPS = {
+    I.UNIFY_VARIABLE, I.UNIFY_VALUE, I.UNIFY_LOCAL_VALUE,
+    I.UNIFY_CONSTANT, I.UNIFY_NIL, I.UNIFY_VOID,
+}
+_HEAD_SKIP_OPS = {I.ALLOCATE, I.GET_LEVEL}
+
+DEPTHS = ("none", "shallow", "full")
+
+
+class PreUnifier:
+    """Executes head code against query arguments, with undo."""
+
+    def __init__(self, depth: str = "full"):
+        if depth not in DEPTHS:
+            raise ValueError(f"depth must be one of {DEPTHS}")
+        self.depth = depth
+        self.executions = 0
+        self.rejections = 0
+
+    # ------------------------------------------------------ summary builder
+
+    @staticmethod
+    def summaries_from_registers(machine, arity: int) -> Dict[int, tuple]:
+        """Typed summaries of the *bound* argument registers — the grid
+        assignment for the per-procedure relation."""
+        out: Dict[int, tuple] = {}
+        for i in range(arity):
+            cell = machine.deref_cell(machine.x[i])
+            tag = cell[0]
+            if tag == "REF":
+                continue
+            if tag == "CON":
+                out[i] = ("atom", machine.dictionary.name(cell[1]))
+            elif tag == "INT":
+                out[i] = ("int", cell[1])
+            elif tag == "FLT":
+                out[i] = ("real", cell[1])
+            elif tag == "LIS":
+                out[i] = ("list",)
+            else:  # STR
+                fid = machine.heap[cell[1]][1]
+                name, fa = machine.dictionary.functor(fid)
+                out[i] = ("struct", name, fa)
+        return out
+
+    # ------------------------------------------------------- code execution
+
+    def filter_by_execution(self, machine, clauses: List[StoredClause],
+                            decoded: List[list]) -> List[int]:
+        """Indices of clauses whose head prefix executes successfully
+        against the current argument registers (depth-dependent)."""
+        if self.depth == "none":
+            return list(range(len(clauses)))
+        survivors = []
+        for idx, code in enumerate(decoded):
+            self.executions += 1
+            if self._head_matches(machine, code):
+                survivors.append(idx)
+            else:
+                self.rejections += 1
+        return survivors
+
+    def _head_matches(self, machine, code: List[tuple]) -> bool:
+        """Run the head prefix of *code* in a scratch register file;
+        every side effect (bindings, heap growth) is undone."""
+        # A barrier choice point forces conditional trailing to record
+        # every binding below the current heap top, so the undo in the
+        # finally block is complete (bindings above the mark vanish with
+        # the heap truncation).
+        barrier = machine._push_barrier()
+        trail_mark = len(machine.trail)
+        heap_mark = len(machine.heap)
+        heap = machine.heap
+        regs: Dict[tuple, object] = {}
+        for i in range(len(machine.x)):
+            if machine.x[i] is not None:
+                regs[("x", i)] = machine.x[i]
+
+        shallow = self.depth == "shallow"
+        ok = True
+        mode = "read"
+        s = 0
+        skip_unify = False
+        try:
+            for instr in code:
+                op = instr[0]
+                if op in _HEAD_SKIP_OPS:
+                    continue
+                if op not in _HEAD_GET_OPS and op not in _HEAD_UNIFY_OPS:
+                    break  # end of head prefix
+                if op in _HEAD_UNIFY_OPS:
+                    if skip_unify:
+                        if op == I.UNIFY_VARIABLE:
+                            # The skipped instruction would have defined
+                            # this register; leaving a stale caller value
+                            # in place would make later get_* tests
+                            # spuriously fail (unsound).  Fresh var =
+                            # sound over-approximation.
+                            regs[instr[1]] = machine.new_var()
+                        continue
+                    if op == I.UNIFY_VARIABLE:
+                        if mode == "read":
+                            regs[instr[1]] = heap[s]
+                            s += 1
+                        else:
+                            regs[instr[1]] = machine.new_var()
+                        continue
+                    if op == I.UNIFY_VALUE or op == I.UNIFY_LOCAL_VALUE:
+                        if mode == "read":
+                            if not machine.unify(
+                                    regs.get(instr[1], machine.new_var()),
+                                    heap[s]):
+                                ok = False
+                                break
+                            s += 1
+                        else:
+                            heap.append(machine.deref_cell(
+                                regs.get(instr[1], machine.new_var())))
+                        continue
+                    if op == I.UNIFY_CONSTANT:
+                        want = _const_cell(machine, instr[1])
+                        if mode == "read":
+                            cell = machine.deref_cell(heap[s])
+                            s += 1
+                            if cell[0] == "REF":
+                                machine.bind(cell[1], want)
+                            elif cell[0] != want[0] or cell[1] != want[1]:
+                                ok = False
+                                break
+                        else:
+                            heap.append(want)
+                        continue
+                    if op == I.UNIFY_NIL:
+                        want = ("CON", machine._nil_id)
+                        if mode == "read":
+                            cell = machine.deref_cell(heap[s])
+                            s += 1
+                            if cell[0] == "REF":
+                                machine.bind(cell[1], want)
+                            elif cell != want:
+                                ok = False
+                                break
+                        else:
+                            heap.append(want)
+                        continue
+                    if op == I.UNIFY_VOID:
+                        if mode == "read":
+                            s += instr[1]
+                        else:
+                            for _ in range(instr[1]):
+                                machine.new_var()
+                        continue
+                # --- get instructions -----------------------------------
+                skip_unify = False
+                if op == I.GET_VARIABLE:
+                    regs[instr[1]] = regs.get(
+                        ("x", instr[2][1]), machine.new_var())
+                    continue
+                if op == I.GET_VALUE:
+                    a = regs.get(instr[1], machine.new_var())
+                    b = regs.get(("x", instr[2][1]), machine.new_var())
+                    if not machine.unify(a, b):
+                        ok = False
+                        break
+                    continue
+                if op == I.GET_CONSTANT:
+                    cell = machine.deref_cell(
+                        regs.get(("x", instr[2][1]), machine.new_var()))
+                    want = _const_cell(machine, instr[1])
+                    if cell[0] == "REF":
+                        machine.bind(cell[1], want)
+                    elif cell[0] != want[0] or cell[1] != want[1]:
+                        ok = False
+                        break
+                    continue
+                if op == I.GET_NIL:
+                    cell = machine.deref_cell(
+                        regs.get(("x", instr[1][1]), machine.new_var()))
+                    if cell[0] == "REF":
+                        machine.bind(cell[1], ("CON", machine._nil_id))
+                    elif cell != ("CON", machine._nil_id):
+                        ok = False
+                        break
+                    continue
+                if op == I.GET_STRUCTURE:
+                    cell = machine.deref_cell(
+                        regs.get(("x", instr[2][1]), machine.new_var()))
+                    if cell[0] == "REF":
+                        h = len(heap)
+                        heap.append(("FUN", instr[1]))
+                        machine.bind(cell[1], ("STR", h))
+                        mode = "write"
+                    elif cell[0] == "STR" and heap[cell[1]][1] == instr[1]:
+                        s = cell[1] + 1
+                        mode = "read"
+                    else:
+                        ok = False
+                        break
+                    skip_unify = shallow
+                    if skip_unify and mode == "write":
+                        # Complete the skipped structure with fresh vars
+                        # so later unifications see a well-formed term.
+                        for _ in range(machine.dictionary.arity(instr[1])):
+                            machine.new_var()
+                    continue
+                if op == I.GET_LIST:
+                    cell = machine.deref_cell(
+                        regs.get(("x", instr[1][1]), machine.new_var()))
+                    if cell[0] == "REF":
+                        machine.bind(cell[1], ("LIS", len(heap)))
+                        mode = "write"
+                    elif cell[0] == "LIS":
+                        s = cell[1]
+                        mode = "read"
+                    else:
+                        ok = False
+                        break
+                    skip_unify = shallow
+                    if skip_unify and mode == "write":
+                        machine.new_var()
+                        machine.new_var()
+                    continue
+        finally:
+            machine._unwind_trail(trail_mark)
+            del machine.heap[heap_mark:]
+            machine.b = barrier.prev
+        return ok
+
+
+def _const_cell(machine, const) -> tuple:
+    kind = const[0]
+    if kind == "atom":
+        return ("CON", const[1])
+    if kind == "int":
+        return ("INT", const[1])
+    return ("FLT", const[1])

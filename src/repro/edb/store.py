@@ -1,0 +1,372 @@
+"""The EDB procedure store (paper §4).
+
+Implements the four structures of §4:
+
+1. **Procedures table** — every external procedure has an entry
+   (mirrored in the ``$procedures`` BANG relation and an in-memory map);
+2. **External dictionary** — see :mod:`repro.edb.external_dict`;
+3. **Per-procedure relation** — one BANG relation per stored procedure,
+   one tuple per clause: a ``term`` attribute per head argument (typed,
+   indexable on type and value), plus ``clause_id`` and the boolean
+   ``code`` attribute;
+4. **Clauses relation** — ``(procedure_id, clause_id, relative_code)``;
+   the code attribute holds compiled WAM code with external-dictionary
+   references.
+
+"Ordinary" relations (conventional DBMS data) are the special case where
+``code`` is false and only atomic formats are allowed — stored here in
+*facts mode*, giving the relational engine direct set-at-a-time access
+while the inference engine sees them as procedures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..bang.catalog import AttributeSpec, Catalog, RelationSchema
+from ..bang.pager import Pager
+from ..bang.relation import BangRelation
+from ..errors import CatalogError, ExistenceError, TypeError_
+from ..terms import Atom, Struct, Term, Var, deref
+from ..wam.compiler import ClauseCompiler, CompileContext, split_clause
+from .codec import encode_code, measure_code
+from .external_dict import ExternalDictionary
+
+
+def summarize_arg(term: Term) -> tuple:
+    """Head-argument summary stored in the per-procedure relation."""
+    term = deref(term)
+    if isinstance(term, Var):
+        return ("var",)
+    if isinstance(term, Atom):
+        return ("atom", term.name)
+    if isinstance(term, bool):
+        raise TypeError_("term", term)
+    if isinstance(term, int):
+        return ("int", term)
+    if isinstance(term, float):
+        return ("real", term)
+    assert isinstance(term, Struct)
+    if term.indicator == (".", 2):
+        return ("list",)
+    return ("struct", term.name, term.arity)
+
+
+@dataclass
+class StoredClause:
+    """One clause as fetched from the EDB."""
+
+    clause_id: int
+    relative_code: list
+    summaries: Tuple[tuple, ...]
+    has_body: bool
+    source: str = ""  # source text, kept only in source mode (Educe)
+
+
+@dataclass
+class StoredProcedure:
+    """Procedures-table entry."""
+
+    name: str
+    arity: int
+    mode: str             # 'rules' | 'facts' | 'source'
+    relation: BangRelation
+    nclauses: int = 0
+    version: int = 0      # bumped on update; invalidates loader caches
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class ExternalStore:
+    """One External Data Base: catalog + dictionaries + procedure store."""
+
+    def __init__(self, pager: Optional[Pager] = None,
+                 bucket_capacity: int = 50):
+        self.pager = pager or Pager()
+        self.catalog = Catalog(self.pager, bucket_capacity)
+        self.external_dict = ExternalDictionary(self.catalog)
+        self._procs: Dict[Tuple[str, int], StoredProcedure] = {}
+        self.procs_relation = self.catalog.create(RelationSchema(
+            "$procedures",
+            [
+                AttributeSpec("name", "atom"),
+                AttributeSpec("arity", "int"),
+                AttributeSpec("mode", "atom"),
+            ],
+            key_dims=[0, 1],
+        ))
+        self.clauses_relation = self.catalog.create(RelationSchema(
+            "$clauses",
+            [
+                AttributeSpec("procedure_id", "atom"),
+                AttributeSpec("clause_id", "int"),
+                AttributeSpec("payload", "term"),
+            ],
+            key_dims=[0, 1],
+        ))
+        self.code_bytes_stored = 0
+        self.source_bytes_stored = 0
+
+    # ------------------------------------------------------------- metadata
+
+    def lookup(self, name: str, arity: int) -> Optional[StoredProcedure]:
+        return self._procs.get((name, arity))
+
+    def get(self, name: str, arity: int) -> StoredProcedure:
+        proc = self.lookup(name, arity)
+        if proc is None:
+            raise ExistenceError("external procedure", f"{name}/{arity}")
+        return proc
+
+    def procedures(self) -> List[StoredProcedure]:
+        return list(self._procs.values())
+
+    def _register(self, proc: StoredProcedure) -> None:
+        if (proc.name, proc.arity) in self._procs:
+            raise CatalogError(f"{proc.key} already stored")
+        self._procs[(proc.name, proc.arity)] = proc
+        self.procs_relation.insert((proc.name, proc.arity, proc.mode))
+
+    def _proc_relation_schema(self, name: str, arity: int) -> RelationSchema:
+        attrs = [AttributeSpec(f"arg{i + 1}", "term") for i in range(arity)]
+        attrs.append(AttributeSpec("clause_id", "int"))
+        attrs.append(AttributeSpec("code", "int"))  # boolean flag
+        key_dims = list(range(arity)) if arity else [arity]  # clause_id key
+        return RelationSchema(f"$p${name}/{arity}", attrs, key_dims=key_dims)
+
+    # ------------------------------------------------------- rules (compiled)
+
+    def store_rules(self, name: str, arity: int, clauses: Sequence[Term],
+                    context: CompileContext) -> StoredProcedure:
+        """Compile *clauses* and store them as relative code (§3.1).
+
+        Auxiliary procedures synthesised for control constructs are
+        stored recursively, so the EDB is self-contained.
+        """
+        aux_sink: List[Tuple[str, int, list]] = []
+        store_ctx = CompileContext(
+            context.dictionary,
+            define_procedure=lambda n, a, c: aux_sink.append((n, a, c)))
+        compiler = ClauseCompiler(store_ctx)
+
+        relation = self.catalog.create(self._proc_relation_schema(name, arity))
+        proc = StoredProcedure(name, arity, "rules", relation)
+        self._register(proc)
+
+        for cid, clause in enumerate(clauses):
+            compiled = compiler.compile_clause(clause)
+            head, body = split_clause(clause)
+            head_args = head.args if isinstance(head, Struct) else ()
+            summaries = tuple(summarize_arg(a) for a in head_args)
+            row = summaries + (cid, 1)
+            relation.insert(row)
+            relative = encode_code(compiled.code, context.dictionary,
+                                   self.external_dict)
+            self.code_bytes_stored += measure_code(relative)
+            # The payload rides as a non-key attribute: it is pickled
+            # with its page, so code size and transfer are page-accounted.
+            self.clauses_relation.insert((proc.key, cid, StoredClause(
+                clause_id=cid, relative_code=relative,
+                summaries=summaries, has_body=bool(body))))
+        proc.nclauses = len(clauses)
+
+        for aux_name, aux_arity, aux_clauses in aux_sink:
+            self.store_rules(aux_name, aux_arity, aux_clauses, context)
+        return proc
+
+    def fetch_clauses(self, name: str, arity: int,
+                      assignment: Optional[Dict[int, tuple]] = None
+                      ) -> List[StoredClause]:
+        """Candidate clauses whose head-argument summaries are compatible
+        with *assignment* (``{arg_index: summary}``) — the attribute-level
+        half of pre-unification, answered by the BANG grid."""
+        proc = self.get(name, arity)
+        assignment = assignment or {}
+        if proc.mode == "facts":
+            raise CatalogError(f"{proc.key} is a facts relation")
+        rows = proc.relation.query(dict(assignment))
+        wanted = {row[arity] for row in rows}
+        # One clustered partial-match fetch for the whole procedure: the
+        # deterministic collect-at-once of §3.2.1.
+        fetched = [
+            row[2] for row in self.clauses_relation.query({0: proc.key})
+            if row[1] in wanted
+        ]
+        fetched.sort(key=lambda sc: sc.clause_id)
+        return fetched
+
+    def clause_count_pages(self, name: str, arity: int) -> int:
+        proc = self.get(name, arity)
+        return self.clauses_relation.pages_for({0: proc.key})
+
+    # ----------------------------------------------------------- facts mode
+
+    def store_facts(self, name: str, arity: int,
+                    rows: Sequence[tuple],
+                    types: Optional[Sequence[str]] = None,
+                    key_dims: Optional[Sequence[int]] = None
+                    ) -> StoredProcedure:
+        """Store an ordinary relation (code attribute false, atomic
+        formats only).  ``key_dims`` selects the indexed attributes
+        (default: all — full partial-match clustering)."""
+        if types is None:
+            types = _infer_types(rows, arity)
+        attrs = [AttributeSpec(f"arg{i + 1}", t)
+                 for i, t in enumerate(types)]
+        schema = RelationSchema(f"$p${name}/{arity}", attrs,
+                                key_dims=list(key_dims)
+                                if key_dims is not None else None)
+        relation = self.catalog.create(schema)
+        proc = StoredProcedure(name, arity, "facts", relation)
+        self._register(proc)
+        proc.nclauses = relation.insert_many(rows)
+        return proc
+
+    def fetch_facts(self, name: str, arity: int,
+                    assignment: Optional[Dict[int, Any]] = None
+                    ) -> Iterator[tuple]:
+        proc = self.get(name, arity)
+        if proc.mode != "facts":
+            raise CatalogError(f"{proc.key} is not a facts relation")
+        if assignment:
+            return proc.relation.query(dict(assignment))
+        return proc.relation.scan()
+
+    def relation_of(self, name: str, arity: int) -> BangRelation:
+        """Direct relational-engine access to a facts relation — the
+        goal-oriented evaluation path of §4."""
+        return self.get(name, arity).relation
+
+    # ---------------------------------------------------------- source mode
+
+    def store_source(self, name: str, arity: int,
+                     clauses: Sequence[Term]) -> StoredProcedure:
+        """Store rules as *source text* — the Educe predecessor's scheme
+        (§2.3), kept as the baseline the paper measures against."""
+        from ..lang.writer import format_clause
+        relation = self.catalog.create(self._proc_relation_schema(name, arity))
+        proc = StoredProcedure(name, arity, "source", relation)
+        self._register(proc)
+        for cid, clause in enumerate(clauses):
+            head, body = split_clause(clause)
+            head_args = head.args if isinstance(head, Struct) else ()
+            summaries = tuple(summarize_arg(a) for a in head_args)
+            relation.insert(summaries + (cid, 0))
+            text = format_clause(clause)
+            self.source_bytes_stored += len(text)
+            self.clauses_relation.insert((proc.key, cid, StoredClause(
+                clause_id=cid, relative_code=[],
+                summaries=summaries, has_body=bool(body), source=text)))
+        proc.nclauses = len(clauses)
+        return proc
+
+    # -------------------------------------------------------------- updates
+
+    def assert_clause(self, name: str, arity: int, clause: Term,
+                      context: CompileContext) -> None:
+        """Append a clause to a stored rules procedure."""
+        proc = self.get(name, arity)
+        if proc.mode == "facts":
+            head, _ = split_clause(clause)
+            values = _fact_values(head)
+            proc.relation.insert(values)
+            proc.nclauses += 1
+            proc.version += 1
+            return
+        compiler = ClauseCompiler(context)
+        compiled = compiler.compile_clause(clause)
+        head, body = split_clause(clause)
+        head_args = head.args if isinstance(head, Struct) else ()
+        summaries = tuple(summarize_arg(a) for a in head_args)
+        existing = [
+            row[1] for row in self.clauses_relation.query({0: proc.key})
+        ]
+        cid = max(existing, default=-1) + 1
+        proc.relation.insert(summaries + (cid, 1))
+        relative = encode_code(compiled.code, context.dictionary,
+                               self.external_dict)
+        self.code_bytes_stored += measure_code(relative)
+        self.clauses_relation.insert((proc.key, cid, StoredClause(
+            clause_id=cid, relative_code=relative,
+            summaries=summaries, has_body=bool(body))))
+        proc.nclauses += 1
+        proc.version += 1
+
+    def retract_clause(self, name: str, arity: int, clause_id: int) -> None:
+        proc = self.get(name, arity)
+        proc.relation.delete_where({proc.arity: clause_id})
+        self.clauses_relation.delete_where({0: proc.key, 1: clause_id})
+        proc.nclauses -= 1
+        proc.version += 1
+
+    # ----------------------------------------------------------- persistence
+
+    def save(self, path: str) -> None:
+        """Persist the whole EDB to *path*.
+
+        This is what relative addresses buy (§3.1): the stored clause
+        code references the external dictionary only, so a *different*
+        session — with a fresh internal dictionary whose identifiers
+        bear no relation to this one's — can load the file and run the
+        code after plain address resolution.
+        """
+        import pickle
+        self.pager.flush()
+        with open(path, "wb") as f:
+            pickle.dump(self, f, protocol=4)
+
+    @staticmethod
+    def load(path: str) -> "ExternalStore":
+        """Reopen a saved EDB."""
+        import pickle
+        with open(path, "rb") as f:
+            store = pickle.load(f)
+        if not isinstance(store, ExternalStore):
+            raise CatalogError(f"{path} is not a saved EDB")
+        return store
+
+    # ------------------------------------------------------------- counters
+
+    def io_counters(self) -> dict:
+        return self.pager.io_counters()
+
+    def reset_counters(self) -> None:
+        self.pager.reset_counters()
+
+
+
+def _infer_types(rows: Sequence[tuple], arity: int) -> List[str]:
+    types = ["atom"] * arity
+    if rows:
+        first = rows[0]
+        for i in range(arity):
+            v = first[i]
+            if isinstance(v, bool):
+                raise TypeError_("atomic value", v)
+            if isinstance(v, int):
+                types[i] = "int"
+            elif isinstance(v, float):
+                types[i] = "real"
+            elif isinstance(v, str):
+                types[i] = "atom"
+            else:
+                raise TypeError_("atomic value", v)
+    return types
+
+
+def _fact_values(head: Term) -> tuple:
+    if not isinstance(head, Struct):
+        raise TypeError_("fact with arguments", head)
+    values = []
+    for arg in head.args:
+        arg = deref(arg)
+        if isinstance(arg, Atom):
+            values.append(arg.name)
+        elif isinstance(arg, (int, float)) and not isinstance(arg, bool):
+            values.append(arg)
+        else:
+            raise TypeError_("atomic value", arg)
+    return tuple(values)

@@ -1,0 +1,213 @@
+"""EduceStar — the paper's system, assembled.
+
+One session couples:
+
+* a :class:`~repro.wam.machine.Machine` (compiler + emulator + GC),
+* an :class:`~repro.edb.store.ExternalStore` (BANG relations, external
+  dictionary, compiled clause code),
+* a :class:`~repro.edb.loader.DynamicLoader` with a
+  :class:`~repro.edb.preunify.PreUnifier`.
+
+The machine's unknown-procedure trap is wired to the loader, so calling
+a predicate that lives in the EDB transparently fetches, filters,
+resolves and executes its compiled code — the architecture of §3.
+
+Both evaluation strategies of §4 are available and freely mixable:
+
+* **term-oriented** — ordinary Prolog queries through :meth:`solve`;
+* **goal-oriented** — :meth:`relation` exposes a stored facts relation
+  to the set-at-a-time relational engine (:mod:`repro.relational`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..bang.pager import Pager
+from ..bang.relation import BangRelation
+from ..edb.loader import DynamicLoader
+from ..edb.preunify import PreUnifier
+from ..edb.store import ExternalStore
+from ..terms import Struct, Term
+from ..wam.compiler import split_clause
+from ..wam.machine import Machine, Procedure, Solution
+from .stats import CostModel, Measurement, measure
+
+
+class EduceStar:
+    """A complete Educe* session."""
+
+    def __init__(self,
+                 store: Optional[ExternalStore] = None,
+                 pager: Optional[Pager] = None,
+                 preunify_depth: str = "full",
+                 index: bool = True,
+                 gc_enabled: bool = True,
+                 gc_threshold: int = 200_000,
+                 dictionary_segment: int = 32000,
+                 cost_model: Optional[CostModel] = None):
+        from ..dictionary import SegmentedDictionary
+        dictionary = SegmentedDictionary(segment_capacity=dictionary_segment)
+        self.machine = Machine(dictionary=dictionary, index=index,
+                               gc_enabled=gc_enabled,
+                               gc_threshold=gc_threshold)
+        self.store = store or ExternalStore(pager=pager)
+        self.preunifier = PreUnifier(preunify_depth)
+        self.loader = DynamicLoader(self.store, self.preunifier, index=index)
+        self.machine.unknown_handler = self._edb_trap
+        self.cost_model = cost_model or CostModel()
+        self.parsed_chars = 0
+
+        # The deterministic record-manager interface (§2.3, §3.2.1).
+        from .cursors import CursorTable, install_cursor_builtins
+        self.cursors = CursorTable(self.store)
+        install_cursor_builtins(self.machine, self.cursors)
+
+        # The strongly typed sub-language (§3.2.3).
+        from .types import TypeDeclarations, install_type_builtins
+        self.types = TypeDeclarations()
+        install_type_builtins(self.machine, self.types)
+
+        # The relational operators of Educe* (§4, [9]).
+        from .relops import RelationalOps, install_relop_builtins
+        self.relops = RelationalOps(self)
+        install_relop_builtins(self.machine, self.relops)
+
+    # ------------------------------------------------------------ population
+
+    def consult(self, text: str) -> None:
+        """Compile a program into main memory."""
+        self.parsed_chars += len(text)
+        self.machine.consult(text)
+
+    def store_program(self, text: str) -> None:
+        """Compile a program and store it in the EDB as relative code."""
+        self.parsed_chars += len(text)
+        clauses = list(self.machine.reader.read_terms(text))
+        self.store_clauses(clauses)
+
+    def store_clauses(self, clauses: List[Term]) -> None:
+        from ..edb.store import summarize_arg
+        grouped: Dict[Tuple[str, int], List[Term]] = {}
+        order: List[Tuple[str, int]] = []
+        for clause in clauses:
+            head, _ = split_clause(clause)
+            ind = (head.name,
+                   head.arity if isinstance(head, Struct) else 0)
+            if ind not in grouped:
+                grouped[ind] = []
+                order.append(ind)
+            grouped[ind].append(clause)
+            if isinstance(head, Struct) and ind in self.types:
+                # Store-time type checking of rule heads (§3.2.3).
+                self.types.check_summaries(
+                    ind[0], ind[1],
+                    [summarize_arg(a) for a in head.args])
+        for name, arity in order:
+            self.store.store_rules(name, arity, grouped[(name, arity)],
+                                   self.machine.ctx)
+        self.loader.invalidate()
+
+    def store_relation(self, name: str, rows: List[tuple],
+                       types: Optional[List[str]] = None,
+                       key_dims: Optional[List[int]] = None) -> None:
+        """Store an ordinary relation in the EDB (facts mode).
+
+        ``key_dims`` restricts the clustered index to the named attribute
+        positions (default: all attributes).  A prior ``:- pred``
+        declaration supplies the attribute formats and every row is
+        checked against it (§3.2.3)."""
+        if not rows:
+            raise ValueError("empty relation")
+        arity = len(rows[0])
+        if types is None and (name, arity) in self.types:
+            types = self.types.storage_types(name, arity)
+        if (name, arity) in self.types:
+            for row in rows:
+                self.types.check_fact_row(name, row)
+        self.store.store_facts(name, arity, rows, types, key_dims)
+        self.loader.invalidate()
+
+    def assert_external(self, clause_text: str) -> None:
+        """Assert a clause into a stored EDB procedure."""
+        clause = self.machine.reader.read_term(clause_text)
+        head, _ = split_clause(clause)
+        arity = head.arity if isinstance(head, Struct) else 0
+        self.store.assert_clause(head.name, arity, clause, self.machine.ctx)
+        self.loader.invalidate()
+
+    # ----------------------------------------------------------------- query
+
+    def solve(self, goal, limit: Optional[int] = None) -> Iterator[Solution]:
+        if isinstance(goal, str):
+            self.parsed_chars += len(goal)
+        return self.machine.solve(goal, limit=limit)
+
+    def solve_once(self, goal) -> Optional[Solution]:
+        if isinstance(goal, str):
+            self.parsed_chars += len(goal)
+        return self.machine.solve_once(goal)
+
+    def count_solutions(self, goal) -> int:
+        return sum(1 for _ in self.solve(goal))
+
+    # -------------------------------------------------- relational interface
+
+    def relation(self, name: str, arity: int) -> BangRelation:
+        """Goal-oriented access to a stored facts relation (§4)."""
+        return self.store.relation_of(name, arity)
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: str) -> None:
+        """Persist this session's EDB (see ExternalStore.save)."""
+        self.store.save(path)
+
+    @classmethod
+    def open(cls, path: str, **kwargs) -> "EduceStar":
+        """A fresh session over a previously saved EDB."""
+        return cls(store=ExternalStore.load(path), **kwargs)
+
+    # ----------------------------------------------------------- EDB wiring
+
+    def _edb_trap(self, machine: Machine, name: str,
+                  arity: int) -> Optional[Procedure]:
+        """Unknown-procedure hook: route the call to the EDB."""
+        if self.store.lookup(name, arity) is None:
+            return None
+
+        def fetch(m, proc):
+            # Call-time type check (§3.2.3): a bound argument that
+            # conflicts with the declaration fails without storage work.
+            if (proc.name, proc.arity) in self.types:
+                summaries = self.preunifier.summaries_from_registers(
+                    m, proc.arity)
+                if not self.types.check_call(proc.name, proc.arity,
+                                             summaries):
+                    return None
+            return self.loader.procedure_code(m, proc.name, proc.arity)
+
+        return machine.define_external(name, arity, fetch=fetch)
+
+    # ------------------------------------------------------------- counters
+
+    def counters(self) -> dict:
+        merged = dict(self.machine.counters())
+        merged.update(self.loader.counters())
+        merged["parsed_chars"] = self.parsed_chars
+        return merged
+
+    def io_counters(self) -> dict:
+        return self.store.io_counters()
+
+    def reset_counters(self) -> None:
+        self.machine.reset_counters()
+        self.store.reset_counters()
+        self.parsed_chars = 0
+
+    def measure(self):
+        """Context manager capturing a Measurement across a block."""
+        return measure(self)
+
+    def simulated_ms(self, measurement: Measurement) -> float:
+        return measurement.simulated_ms(self.cost_model)

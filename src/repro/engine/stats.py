@@ -1,0 +1,137 @@
+"""Counters and the hardware cost model.
+
+The paper's numbers come from a Sun 3/280S — a 25 MHz MC68020 the paper
+rates at 4 MIPS — with a Hitachi disc.  Our substrate is a Python
+simulator whose wall-clock time is not representative (repro band note),
+so every experiment reports **two** figures:
+
+* wall-clock seconds on the machine running the reproduction, and
+* *simulated 1990 milliseconds* derived from deterministic work
+  counters: WAM instructions, data references, compiled characters,
+  page reads/writes.
+
+The conversion constants are explicit and configurable; the diskless
+workstation experiment (§5.4) is reproduced exactly by re-pricing the
+same counters at 3 MIPS instead of 4.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+SUN_3_280S_MIPS = 4.0   # 25 MHz MC68020 (paper §5.4)
+SUN_3_60_MIPS = 3.0     # 20 MHz diskless client (paper §5.4)
+
+
+@dataclass
+class CostModel:
+    """Converts work counters into simulated 1990 milliseconds."""
+
+    mips: float = SUN_3_280S_MIPS
+    native_per_wam_instr: float = 12.0   # native instrs per WAM instr
+    native_per_data_ref: float = 2.0     # memory-system overhead
+    native_per_parsed_char: float = 60.0  # lexing/parsing cost (§3.1)
+    native_per_compiled_clause: float = 4000.0
+    native_per_resolution: float = 40.0  # loader address resolution
+    native_per_tuple_op: float = 150.0   # relational-engine row handling
+    native_per_inference: float = 600.0  # interpreter LI (baseline engine)
+    disc_access_ms: float = 28.0         # avg seek+rotate, 1990 Hitachi
+    disc_transfer_ms_per_kb: float = 0.8
+
+    def cpu_ms(self, counters: Dict[str, int]) -> float:
+        native = (
+            counters.get("instr_count", 0) * self.native_per_wam_instr
+            + counters.get("data_refs", 0) * self.native_per_data_ref
+            + counters.get("parsed_chars", 0) * self.native_per_parsed_char
+            + counters.get("compile_count", 0)
+            * self.native_per_compiled_clause
+            + counters.get("resolutions", 0) * self.native_per_resolution
+            + counters.get("tuple_ops", 0) * self.native_per_tuple_op
+            + counters.get("inferences", 0) * self.native_per_inference
+            + counters.get("unifications", 0) * self.native_per_data_ref * 8
+        )
+        return native / (self.mips * 1000.0)
+
+    def io_ms(self, counters: Dict[str, int]) -> float:
+        accesses = counters.get("reads", 0) + counters.get("writes", 0)
+        kb = (counters.get("bytes_read", 0)
+              + counters.get("bytes_written", 0)) / 1024.0
+        return accesses * self.disc_access_ms \
+            + kb * self.disc_transfer_ms_per_kb
+
+    def total_ms(self, counters: Dict[str, int]) -> float:
+        return self.cpu_ms(counters) + self.io_ms(counters)
+
+    def at_mips(self, mips: float) -> "CostModel":
+        """Same model on a different CPU (the diskless-client experiment)."""
+        clone = CostModel(**self.__dict__)
+        clone.mips = mips
+        return clone
+
+
+@dataclass
+class Measurement:
+    """One experiment run: wall time + merged counters."""
+
+    wall_s: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def simulated_ms(self, model: Optional[CostModel] = None) -> float:
+        model = model or CostModel()
+        return model.total_ms(self.counters)
+
+    def cpu_ms(self, model: Optional[CostModel] = None) -> float:
+        return (model or CostModel()).cpu_ms(self.counters)
+
+    def io_ms(self, model: Optional[CostModel] = None) -> float:
+        return (model or CostModel()).io_ms(self.counters)
+
+    def __getitem__(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+
+def merge_counters(*sources: Dict[str, int]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for source in sources:
+        for key, value in source.items():
+            if isinstance(value, (int, float)):
+                out[key] = out.get(key, 0) + value
+    return out
+
+
+def diff_counters(after: Dict[str, int], before: Dict[str, int]
+                  ) -> Dict[str, int]:
+    out = {}
+    for key, value in after.items():
+        if isinstance(value, (int, float)):
+            out[key] = value - before.get(key, 0)
+    return out
+
+
+@contextmanager
+def measure(*counter_sources) -> Iterator[Measurement]:
+    """Collect wall time + counter deltas across a block.
+
+    Each *counter_source* is an object with a ``counters()`` or
+    ``io_counters()`` method (machines, pagers, loaders, baselines).
+    """
+    def snap():
+        merged: Dict[str, int] = {}
+        for src in counter_sources:
+            if hasattr(src, "counters"):
+                merged = merge_counters(merged, src.counters())
+            if hasattr(src, "io_counters"):
+                merged = merge_counters(merged, src.io_counters())
+        return merged
+
+    before = snap()
+    result = Measurement()
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result.wall_s = time.perf_counter() - start
+        result.counters = diff_counters(snap(), before)

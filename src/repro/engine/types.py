@@ -1,0 +1,182 @@
+"""The strongly typed sub-language (paper §3.2.3, abstract).
+
+"A stronger typed language in a fluid combination of strategies of
+evaluation are put together in Educe*" — and §3.2.3 notes pre-unification
+"is further improved with specific machinery to support a strongly typed
+sub-language".
+
+Predicates can be declared with attribute types::
+
+    :- pred employee(int, atom, atom, int).
+
+The declaration is enforced at three points:
+
+* **storage** — facts inserted into a declared relation are checked; the
+  relation's BANG schema uses the declared formats (no inference);
+* **rule heads** — storing a rule whose head argument can never satisfy
+  the declared type is rejected at compile/store time;
+* **calls** — a query whose bound argument conflicts with the declared
+  type *fails immediately* without touching storage (the typed analogue
+  of the WAM's identify-failures-early principle, §2.1).
+
+Types: ``int``, ``real``, ``atom``, ``term`` (any list/structure),
+``any``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TypeError_
+from ..wam.compiler import register_builtin_indicator
+
+DECLARABLE_TYPES = ("int", "real", "atom", "term", "any")
+
+# summary kind -> compatible declared types
+_COMPATIBLE = {
+    "int": {"int", "any"},
+    "real": {"real", "any"},
+    "atom": {"atom", "any"},
+    "list": {"term", "any"},
+    "struct": {"term", "any"},
+    "var": set(DECLARABLE_TYPES),  # an unbound argument fits any type
+}
+
+
+class TypeDeclarations:
+    """Per-session registry of ``:- pred`` declarations."""
+
+    def __init__(self) -> None:
+        self._decls: Dict[Tuple[str, int], List[str]] = {}
+        self.checks = 0
+        self.rejections = 0
+
+    def declare(self, name: str, types: Sequence[str]) -> None:
+        for t in types:
+            if t not in DECLARABLE_TYPES:
+                raise TypeError_("declarable type", t)
+        self._decls[(name, len(types))] = list(types)
+
+    def lookup(self, name: str, arity: int) -> Optional[List[str]]:
+        return self._decls.get((name, arity))
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._decls
+
+    # ------------------------------------------------------------ checking
+
+    def storage_types(self, name: str, arity: int
+                      ) -> Optional[List[str]]:
+        """Attribute formats for a declared facts relation (``term``/
+        ``any`` columns fall back to ``atom`` storage is wrong — they
+        are not allowed in facts relations)."""
+        decl = self.lookup(name, arity)
+        if decl is None:
+            return None
+        out = []
+        for t in decl:
+            if t in ("term", "any"):
+                raise TypeError_(
+                    "atomic type in facts relation", f"{name}/{arity}")
+            out.append(t)
+        return out
+
+    def check_fact_row(self, name: str, row: tuple) -> None:
+        decl = self.lookup(name, len(row))
+        if decl is None:
+            return
+        self.checks += 1
+        for value, want in zip(row, decl):
+            ok = (
+                (want == "int" and isinstance(value, int)
+                 and not isinstance(value, bool))
+                or (want == "real" and isinstance(value, float))
+                or (want == "atom" and isinstance(value, str))
+                or want == "any"
+            )
+            if not ok:
+                self.rejections += 1
+                raise TypeError_(
+                    f"{want} (declared for {name}/{len(row)})", value)
+
+    def check_summaries(self, name: str, arity: int,
+                        summaries: Sequence[tuple],
+                        reject: bool = True) -> bool:
+        """True iff the head-argument summaries can satisfy the
+        declaration.  With ``reject=True`` a conflict raises (store
+        time); otherwise it returns False (call time → clean failure).
+        """
+        decl = self.lookup(name, arity)
+        if decl is None:
+            return True
+        self.checks += 1
+        for summary, want in zip(summaries, decl):
+            if want not in _COMPATIBLE[summary[0]]:
+                self.rejections += 1
+                if reject:
+                    raise TypeError_(
+                        f"{want} (declared for {name}/{arity})", summary)
+                return False
+        return True
+
+    def check_call(self, name: str, arity: int,
+                   assignment: Dict[int, tuple]) -> bool:
+        """Can a call with these bound-argument summaries succeed?"""
+        decl = self.lookup(name, arity)
+        if decl is None:
+            return True
+        self.checks += 1
+        for pos, summary in assignment.items():
+            if decl[pos] not in _COMPATIBLE[summary[0]]:
+                self.rejections += 1
+                return False
+        return True
+
+
+# ------------------------------------------------------------- the builtins
+
+register_builtin_indicator("pred", 1)
+register_builtin_indicator("current_pred_type", 2)
+
+
+def install_type_builtins(machine, decls: TypeDeclarations) -> None:
+    def bi_pred(m, args):
+        cell = m.deref_cell(args[0])
+        if cell[0] != "STR":
+            raise TypeError_("pred declaration", m.extract(cell))
+        a = cell[1]
+        name, arity = m.dictionary.functor(m.heap[a][1])
+        types = []
+        for k in range(1, arity + 1):
+            t = m.deref_cell(m.heap[a + k])
+            if t[0] != "CON":
+                raise TypeError_("type name", m.extract(t))
+            types.append(m.dictionary.name(t[1]))
+        decls.declare(name, types)
+        return True
+
+    def bi_current_pred_type(m, args):
+        spec = m.deref_cell(args[0])
+        if spec[0] != "STR":
+            raise TypeError_("predicate indicator", m.extract(spec))
+        a = spec[1]
+        if m.dictionary.functor(m.heap[a][1]) != ("/", 2):
+            raise TypeError_("predicate indicator", m.extract(spec))
+        name_cell = m.deref_cell(m.heap[a + 1])
+        arity_cell = m.deref_cell(m.heap[a + 2])
+        name = m.dictionary.name(name_cell[1])
+        arity = arity_cell[1]
+        decl = decls.lookup(name, arity)
+        if decl is None:
+            return False
+        cells = [("CON", m.dictionary.intern(t, 0)) for t in decl]
+        tail = ("CON", m._nil_id)
+        for c in reversed(cells):
+            addr = len(m.heap)
+            m.heap.append(c)
+            m.heap.append(tail)
+            tail = ("LIS", addr)
+        return m.unify(args[1], tail)
+
+    machine.builtins[("pred", 1)] = bi_pred
+    machine.builtins[("current_pred_type", 2)] = bi_current_pred_type

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the Educe* reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one type.  The sub-hierarchy mirrors the ISO Prolog
+error terms where a natural mapping exists (type_error, existence_error,
+instantiation_error, ...), plus storage-level errors for the BANG/EDB side.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PrologError(ReproError):
+    """Base class for errors raised during parsing, compilation or execution
+    of logic programs."""
+
+
+class SyntaxError_(PrologError):
+    """Raised by the tokenizer/reader on malformed Prolog text.
+
+    Carries the source position for diagnostics.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class InstantiationError(PrologError):
+    """An argument was an unbound variable where a bound term is required."""
+
+
+class TypeError_(PrologError):
+    """An argument has the wrong type (ISO ``type_error``)."""
+
+    def __init__(self, expected: str, culprit: object):
+        super().__init__(f"type_error({expected}, {culprit!r})")
+        self.expected = expected
+        self.culprit = culprit
+
+
+class ExistenceError(PrologError):
+    """A referenced procedure, relation or object does not exist."""
+
+    def __init__(self, kind: str, name: str):
+        super().__init__(f"existence_error({kind}, {name})")
+        self.kind = kind
+        self.name = name
+
+
+class PermissionError_(PrologError):
+    """An operation is not permitted on the target (e.g. redefining a
+    built-in predicate, modifying a frozen procedure)."""
+
+
+class EvaluationError(PrologError):
+    """Arithmetic evaluation failed (zero divisor, undefined function...)."""
+
+
+class RepresentationError(PrologError):
+    """A value cannot be represented (e.g. functor arity overflow in the
+    code serialisation format)."""
+
+
+class ResourceError(PrologError):
+    """A machine resource was exhausted (heap, trail, dictionary...)."""
+
+
+class MachineError(PrologError):
+    """Internal inconsistency detected by the WAM emulator; indicates a
+    compiler or loader bug rather than a user error."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-level (BANG / pager / EDB) errors."""
+
+
+class PageError(StorageError):
+    """A page id is out of range or a page image is corrupt."""
+
+
+class CatalogError(StorageError):
+    """Schema catalog inconsistency (duplicate relation, unknown attribute,
+    arity mismatch...)."""
+
+
+class CodecError(StorageError):
+    """The relative-address code serialisation is malformed."""

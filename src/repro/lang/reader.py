@@ -1,0 +1,272 @@
+"""Operator-precedence Prolog reader.
+
+Turns token streams into :mod:`repro.terms` trees.  One :class:`Reader`
+instance carries the operator table, so ``:- op/3`` directives seen by
+:func:`read_program` affect subsequent clauses, as in a real incremental
+compiler front end (paper §3.1).
+
+Variables are scoped per clause: every occurrence of the same name within
+one clause maps to the same :class:`~repro.terms.Var`; ``_`` is always
+fresh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import SyntaxError_
+from ..terms import NIL, Atom, Struct, Term, Var, make_list
+from .operators import MAX_PRIORITY, OperatorTable, default_operators
+from .tokenizer import Token, tokenize
+
+_ARG_PRIORITY = 999  # max priority inside argument lists / list elements
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        i = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[i]
+
+    def next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "end":
+            self._pos += 1
+        return tok
+
+    def error(self, message: str, tok: Optional[Token] = None) -> SyntaxError_:
+        tok = tok or self.peek()
+        return SyntaxError_(message, tok.line, tok.column)
+
+
+class Reader:
+    """A reusable Prolog reader with its own operator table."""
+
+    def __init__(self, operators: Optional[OperatorTable] = None):
+        self.operators = operators or default_operators()
+
+    # ------------------------------------------------------------------ API
+
+    def read_term(self, text: str) -> Term:
+        """Parse exactly one term (with or without a trailing ``.``)."""
+        term, varmap = self.read_term_with_vars(text)
+        return term
+
+    def read_term_with_vars(self, text: str) -> Tuple[Term, Dict[str, Var]]:
+        """Parse one term; also return the name -> Var mapping."""
+        stream = _TokenStream(tokenize(text))
+        varmap: Dict[str, Var] = {}
+        term = self._parse(stream, MAX_PRIORITY, varmap)[0]
+        tok = stream.next()
+        if tok.kind == "punct" and tok.value == "end_of_clause":
+            tok = stream.next()
+        if tok.kind != "end":
+            raise stream.error(f"unexpected trailing token {tok.value!r}", tok)
+        return term, varmap
+
+    def read_terms(self, text: str) -> Iterator[Term]:
+        """Parse a sequence of ``.``-terminated terms (a program text)."""
+        stream = _TokenStream(tokenize(text))
+        while stream.peek().kind != "end":
+            varmap: Dict[str, Var] = {}
+            term = self._parse(stream, MAX_PRIORITY, varmap)[0]
+            tok = stream.next()
+            if not (tok.kind == "punct" and tok.value == "end_of_clause"):
+                raise stream.error("expected '.' at end of clause", tok)
+            yield term
+
+    # ----------------------------------------------------------- the parser
+
+    def _parse(
+        self, ts: _TokenStream, max_prio: int, varmap: Dict[str, Var]
+    ) -> Tuple[Term, int]:
+        left, left_prio = self._parse_primary(ts, max_prio, varmap)
+        return self._parse_infix(ts, left, left_prio, max_prio, varmap)
+
+    def _parse_infix(
+        self,
+        ts: _TokenStream,
+        left: Term,
+        left_prio: int,
+        max_prio: int,
+        varmap: Dict[str, Var],
+    ) -> Tuple[Term, int]:
+        while True:
+            tok = ts.peek()
+            if tok.kind != "atom":
+                return left, left_prio
+            name = str(tok.value)
+            infix = self.operators.infix(name)
+            postfix = self.operators.postfix(name)
+            if infix and infix.priority <= max_prio and left_prio <= infix.left_max:
+                # Don't consume ',' / '|' when the caller treats them as
+                # separators (they arrive here only at priority >= 1000).
+                if name in (",", "|") and max_prio < 1000:
+                    return left, left_prio
+                ts.next()
+                right, _ = self._parse(ts, infix.right_max, varmap)
+                if name == "|":
+                    name = ";"  # '|' as infix is an alias for disjunction
+                left = Struct(name, (left, right))
+                left_prio = infix.priority
+                continue
+            if (
+                postfix
+                and postfix.priority <= max_prio
+                and left_prio <= postfix.left_max
+            ):
+                ts.next()
+                left = Struct(name, (left,))
+                left_prio = postfix.priority
+                continue
+            return left, left_prio
+
+    def _parse_primary(
+        self, ts: _TokenStream, max_prio: int, varmap: Dict[str, Var]
+    ) -> Tuple[Term, int]:
+        tok = ts.next()
+
+        if tok.kind == "int" or tok.kind == "float":
+            return tok.value, 0
+
+        if tok.kind == "string":
+            # Double-quoted text maps to a list of character codes (ISO
+            # default), which is what the workloads expect.
+            return make_list([ord(c) for c in str(tok.value)]), 0
+
+        if tok.kind == "var":
+            name = str(tok.value)
+            if name == "_":
+                return Var("_"), 0
+            var = varmap.get(name)
+            if var is None:
+                var = Var(name)
+                varmap[name] = var
+            return var, 0
+
+        if tok.kind == "punct":
+            if tok.value == "(":
+                term, _ = self._parse(ts, MAX_PRIORITY, varmap)
+                self._expect_punct(ts, ")")
+                return term, 0
+            if tok.value == "[":
+                return self._parse_list(ts, varmap), 0
+            if tok.value == "{":
+                if ts.peek().is_punct("}"):
+                    ts.next()
+                    return Atom("{}"), 0
+                inner, _ = self._parse(ts, MAX_PRIORITY, varmap)
+                self._expect_punct(ts, "}")
+                return Struct("{}", (inner,)), 0
+            raise ts.error(f"unexpected {tok.value!r}", tok)
+
+        if tok.kind == "atom":
+            return self._parse_atom_primary(ts, tok, max_prio, varmap)
+
+        raise ts.error("unexpected end of input", tok)
+
+    def _parse_atom_primary(
+        self,
+        ts: _TokenStream,
+        tok: Token,
+        max_prio: int,
+        varmap: Dict[str, Var],
+    ) -> Tuple[Term, int]:
+        name = str(tok.value)
+
+        # Functor application: name immediately followed by '('.
+        if tok.functor:
+            ts.next()  # consume '('
+            args = [self._parse(ts, _ARG_PRIORITY, varmap)[0]]
+            while ts.peek().kind == "atom" and ts.peek().value == ",":
+                ts.next()
+                args.append(self._parse(ts, _ARG_PRIORITY, varmap)[0])
+            self._expect_punct(ts, ")")
+            return Struct(name, tuple(args)), 0
+
+        # Negative number literals: '-' immediately before a number.
+        nxt = ts.peek()
+        if (
+            name == "-"
+            and nxt.kind in ("int", "float")
+            and not nxt.layout_before
+        ):
+            ts.next()
+            return -nxt.value, 0  # type: ignore[operator]
+
+        prefix = self.operators.prefix(name)
+        if prefix and prefix.priority <= max_prio and self._starts_term(nxt):
+            operand, _ = self._parse(ts, prefix.right_max, varmap)
+            return Struct(name, (operand,)), prefix.priority
+
+        # Bare atom.  If it is an operator, it carries the operator's
+        # priority as a term (lenient: capped at max allowed).
+        atom_prio = 0
+        if self.operators.is_operator(name):
+            defs = [d for d in self.operators.lookup(name) if d is not None]
+            atom_prio = min(max_prio, max(d.priority for d in defs))
+        return Atom(name), atom_prio
+
+    def _starts_term(self, tok: Token) -> bool:
+        """Can *tok* begin a term? Used to disambiguate prefix operators."""
+        if tok.kind in ("int", "float", "string", "var"):
+            return True
+        if tok.kind == "punct":
+            return tok.value in ("(", "[", "{")
+        if tok.kind == "atom":
+            name = str(tok.value)
+            if name in (",", "|"):
+                return False
+            # An atom that is *only* an infix/postfix operator cannot start
+            # a term, unless it is followed by '(' (functor application).
+            if tok.functor:
+                return True
+            infix_only = (
+                self.operators.infix(name) or self.operators.postfix(name)
+            ) and not self.operators.prefix(name)
+            if infix_only:
+                nxt_ok = False  # e.g. "a = =" is a syntax error anyway
+                return nxt_ok
+            return True
+        return False
+
+    def _parse_list(self, ts: _TokenStream, varmap: Dict[str, Var]) -> Term:
+        if ts.peek().is_punct("]"):
+            ts.next()
+            return NIL
+        items = [self._parse(ts, _ARG_PRIORITY, varmap)[0]]
+        while ts.peek().kind == "atom" and ts.peek().value == ",":
+            ts.next()
+            items.append(self._parse(ts, _ARG_PRIORITY, varmap)[0])
+        tail: Term = NIL
+        if ts.peek().kind == "atom" and ts.peek().value == "|":
+            ts.next()
+            tail = self._parse(ts, _ARG_PRIORITY, varmap)[0]
+        self._expect_punct(ts, "]")
+        return make_list(items, tail)
+
+    def _expect_punct(self, ts: _TokenStream, value: str) -> None:
+        tok = ts.next()
+        if not (tok.kind == "punct" and tok.value == value):
+            raise ts.error(f"expected {value!r}, found {tok.value!r}", tok)
+
+
+_shared_reader = Reader()
+
+
+def read_term(text: str) -> Term:
+    """Parse one term using the default operator table."""
+    return _shared_reader.read_term(text)
+
+
+def read_terms(text: str) -> List[Term]:
+    """Parse a whole program text into a list of clause terms."""
+    return list(_shared_reader.read_terms(text))
+
+
+def read_program(text: str) -> List[Term]:
+    """Alias of :func:`read_terms`, reading ``.``-terminated clauses."""
+    return read_terms(text)

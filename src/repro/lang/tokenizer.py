@@ -1,0 +1,330 @@
+"""Prolog tokenizer.
+
+Produces a flat token stream with source positions.  Token kinds:
+
+==========  =====================================================
+``atom``    unquoted names, quoted atoms, symbolic atoms, solo chars
+``var``     variables (capitalised or ``_``-prefixed)
+``int``     integers (decimal, ``0x``/``0o``/``0b``, ``0'c`` char codes)
+``float``   floating point numbers
+``string``  double-quoted strings (kept as Python str payload)
+``punct``   ``( ) [ ] { } , |`` and the end-of-clause ``.``
+``end``     the final sentinel
+==========  =====================================================
+
+A ``.`` followed by whitespace/EOF is the clause terminator (kind
+``punct``, value ``end_of_clause``); otherwise it is an atom (the cons
+functor / decimal point handling happens in the reader and number rules).
+
+The tokenizer also flags whether an atom token is *immediately* followed
+by ``(`` (functor application) via ``Token.functor``, and whether a token
+was preceded by layout — needed to distinguish ``- 1`` from ``-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from ..errors import SyntaxError_
+
+_SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+_SOLO_CHARS = set("!,;|")
+_PUNCT_CHARS = set("()[]{},|")
+
+
+@dataclass
+class Token:
+    """One lexical token with position information."""
+
+    kind: str
+    value: object
+    line: int
+    column: int
+    functor: bool = False  # atom immediately followed by '('
+    layout_before: bool = field(default=False, repr=False)
+
+    def is_punct(self, value: str) -> bool:
+        return self.kind == "punct" and self.value == value
+
+
+class _Scanner:
+    """Character-level scanner with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def peek(self, ahead: int = 0) -> str:
+        i = self.pos + ahead
+        return self.text[i] if i < len(self.text) else ""
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def error(self, message: str) -> SyntaxError_:
+        return SyntaxError_(message, self.line, self.column)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text* into a list ending with an ``end`` sentinel."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    sc = _Scanner(text)
+    layout = True  # beginning of input counts as layout
+    while True:
+        layout = _skip_layout(sc) or layout
+        if sc.at_end():
+            yield Token("end", None, sc.line, sc.column, layout_before=layout)
+            return
+        line, column = sc.line, sc.column
+        ch = sc.peek()
+
+        if ch == ".":
+            nxt = sc.peek(1)
+            if nxt == "" or nxt in " \t\n\r%" or nxt == "":
+                sc.advance()
+                yield Token("punct", "end_of_clause", line, column,
+                            layout_before=layout)
+                layout = False
+                continue
+            # fall through: symbolic atom or decimal handled below
+
+        if ch.isdigit():
+            tok = _scan_number(sc, line, column)
+            tok.layout_before = layout
+            yield tok
+            layout = False
+            continue
+
+        if ch == "_" or ch.isalpha():
+            name = _scan_name(sc)
+            kind = "var" if (ch == "_" or ch.isupper()) else "atom"
+            tok = Token(kind, name, line, column, layout_before=layout)
+            if kind == "atom" and sc.peek() == "(":
+                tok.functor = True
+            yield tok
+            layout = False
+            continue
+
+        if ch == "'":
+            name = _scan_quoted(sc, "'")
+            tok = Token("atom", name, line, column, layout_before=layout)
+            if sc.peek() == "(":
+                tok.functor = True
+            yield tok
+            layout = False
+            continue
+
+        if ch == '"':
+            payload = _scan_quoted(sc, '"')
+            yield Token("string", payload, line, column, layout_before=layout)
+            layout = False
+            continue
+
+        if ch in _PUNCT_CHARS:
+            sc.advance()
+            if ch in ",|":
+                # ',' and '|' double as atoms/operators; the reader decides.
+                yield Token("atom", ch, line, column, layout_before=layout)
+            else:
+                yield Token("punct", ch, line, column, layout_before=layout)
+            layout = False
+            continue
+
+        if ch in ("!", ";"):
+            sc.advance()
+            tok = Token("atom", ch, line, column, layout_before=layout)
+            if sc.peek() == "(":
+                tok.functor = True
+            yield tok
+            layout = False
+            continue
+
+        if ch in _SYMBOL_CHARS:
+            name = _scan_symbol(sc)
+            tok = Token("atom", name, line, column, layout_before=layout)
+            if sc.peek() == "(":
+                tok.functor = True
+            yield tok
+            layout = False
+            continue
+
+        raise sc.error(f"unexpected character {ch!r}")
+
+
+def _skip_layout(sc: _Scanner) -> bool:
+    """Skip whitespace and comments; return True if anything was skipped."""
+    skipped = False
+    while not sc.at_end():
+        ch = sc.peek()
+        if ch in " \t\r\n":
+            sc.advance()
+            skipped = True
+        elif ch == "%":
+            while not sc.at_end() and sc.peek() != "\n":
+                sc.advance()
+            skipped = True
+        elif ch == "/" and sc.peek(1) == "*":
+            sc.advance()
+            sc.advance()
+            while not sc.at_end():
+                if sc.peek() == "*" and sc.peek(1) == "/":
+                    sc.advance()
+                    sc.advance()
+                    break
+                sc.advance()
+            else:
+                raise sc.error("unterminated block comment")
+            skipped = True
+        else:
+            break
+    return skipped
+
+
+def _scan_name(sc: _Scanner) -> str:
+    chars = []
+    while not sc.at_end():
+        ch = sc.peek()
+        if ch == "_" or ch.isalnum():
+            chars.append(sc.advance())
+        else:
+            break
+    return "".join(chars)
+
+
+def _scan_symbol(sc: _Scanner) -> str:
+    chars = []
+    while not sc.at_end() and sc.peek() in _SYMBOL_CHARS:
+        chars.append(sc.advance())
+    return "".join(chars)
+
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "a": "\a", "b": "\b",
+    "f": "\f", "v": "\v", "\\": "\\", "'": "'", '"': '"', "`": "`",
+    "0": "\0",
+}
+
+
+def _scan_quoted(sc: _Scanner, quote: str) -> str:
+    sc.advance()  # opening quote
+    chars: List[str] = []
+    while True:
+        if sc.at_end():
+            raise sc.error("unterminated quoted token")
+        ch = sc.advance()
+        if ch == quote:
+            if sc.peek() == quote:  # doubled quote = literal quote
+                sc.advance()
+                chars.append(quote)
+                continue
+            return "".join(chars)
+        if ch == "\\":
+            if sc.at_end():
+                raise sc.error("unterminated escape")
+            esc = sc.advance()
+            if esc == "\n":  # line continuation
+                continue
+            if esc == "x":
+                digits = []
+                while sc.peek() and sc.peek() in "0123456789abcdefABCDEF":
+                    digits.append(sc.advance())
+                if sc.peek() == "\\":
+                    sc.advance()
+                if not digits:
+                    raise sc.error("empty hex escape")
+                chars.append(chr(int("".join(digits), 16)))
+                continue
+            mapped = _ESCAPES.get(esc)
+            if mapped is None:
+                raise sc.error(f"unknown escape \\{esc}")
+            chars.append(mapped)
+            continue
+        chars.append(ch)
+
+
+def _scan_number(sc: _Scanner, line: int, column: int) -> Token:
+    # Special 0-prefixed forms.
+    if sc.peek() == "0":
+        nxt = sc.peek(1)
+        if nxt == "'":
+            sc.advance()
+            sc.advance()
+            if sc.at_end():
+                raise sc.error("unterminated character code")
+            ch = sc.advance()
+            if ch == "\\":
+                esc = sc.advance()
+                mapped = _ESCAPES.get(esc)
+                if mapped is None:
+                    raise sc.error(f"unknown escape \\{esc}")
+                ch = mapped
+            elif ch == "'" and sc.peek() == "'":
+                sc.advance()
+            return Token("int", ord(ch), line, column)
+        if nxt and nxt in "xX":
+            sc.advance()
+            sc.advance()
+            return Token("int", _scan_radix(sc, 16), line, column)
+        if nxt and nxt in "oO":
+            sc.advance()
+            sc.advance()
+            return Token("int", _scan_radix(sc, 8), line, column)
+        if nxt and nxt in "bB":
+            sc.advance()
+            sc.advance()
+            return Token("int", _scan_radix(sc, 2), line, column)
+
+    digits = []
+    while not sc.at_end() and sc.peek().isdigit():
+        digits.append(sc.advance())
+    is_float = False
+    if sc.peek() == "." and sc.peek(1).isdigit():
+        is_float = True
+        digits.append(sc.advance())
+        while not sc.at_end() and sc.peek().isdigit():
+            digits.append(sc.advance())
+    if sc.peek() and sc.peek() in "eE":
+        save = sc.pos, sc.line, sc.column
+        exp = [sc.advance()]
+        if sc.peek() and sc.peek() in "+-":
+            exp.append(sc.advance())
+        if sc.peek().isdigit():
+            while not sc.at_end() and sc.peek().isdigit():
+                exp.append(sc.advance())
+            digits.extend(exp)
+            is_float = True
+        else:
+            sc.pos, sc.line, sc.column = save
+    text = "".join(digits)
+    if is_float:
+        return Token("float", float(text), line, column)
+    return Token("int", int(text), line, column)
+
+
+_RADIX_DIGITS = "0123456789abcdef"
+
+
+def _scan_radix(sc: _Scanner, radix: int) -> int:
+    valid = _RADIX_DIGITS[:radix]
+    digits = []
+    while not sc.at_end() and sc.peek().lower() in valid:
+        digits.append(sc.advance())
+    if not digits:
+        raise sc.error(f"empty radix-{radix} literal")
+    return int("".join(digits), radix)

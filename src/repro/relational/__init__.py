@@ -1,0 +1,37 @@
+"""Goal-oriented relational engine (paper §2.2).
+
+Set-at-a-time evaluation over BANG relations: selection (point, range),
+projection, joins (hash and index-nested-loop) and aggregation, with a
+small access-path planner.  This is the engine behind "Educe* used as a
+conventional relational DBMS" in the Wisconsin experiments (Table 2a/2b),
+and the goal-oriented half of the dual evaluation strategy of §4.
+"""
+
+from .algebra import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    IndexJoin,
+    Plan,
+    Project,
+    RangeSelect,
+    Scan,
+    Select,
+    execute,
+)
+from .planner import best_access_path, plan_join
+
+__all__ = [
+    "Plan",
+    "Scan",
+    "Select",
+    "RangeSelect",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "IndexJoin",
+    "Aggregate",
+    "execute",
+    "best_access_path",
+    "plan_join",
+]

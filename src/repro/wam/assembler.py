@@ -1,0 +1,65 @@
+"""Label resolution for WAM code blocks.
+
+Code generators emit ``(LABEL, name)`` pseudo-instructions and symbolic
+label operands; :func:`assemble` strips the pseudo-instructions and
+rewrites every label operand into an integer offset within the block.
+
+The same pass is used by the compiler (procedure code) and by the
+EDB dynamic loader, which splices control code around clause code
+retrieved from secondary storage (paper §3.1: "adds procedural and other
+forms of control code to the clausal code stored in the EDB").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import MachineError
+from . import instructions as I
+
+_LABEL_OPERAND_OPS = {
+    I.TRY_ME_ELSE,
+    I.RETRY_ME_ELSE,
+    I.TRY,
+    I.RETRY,
+    I.TRUST,
+}
+
+
+def assemble(code: List[tuple]) -> List[tuple]:
+    """Resolve labels to offsets; returns a new executable code block."""
+    offsets: Dict[str, int] = {}
+    stripped: List[tuple] = []
+    for instr in code:
+        if instr[0] == I.LABEL:
+            name = instr[1]
+            if name in offsets:
+                raise MachineError(f"duplicate label {name!r}")
+            offsets[name] = len(stripped)
+        else:
+            stripped.append(instr)
+
+    def resolve(label: str) -> int:
+        if label not in offsets:
+            raise MachineError(f"undefined label {label!r}")
+        return offsets[label]
+
+    out: List[tuple] = []
+    for instr in stripped:
+        op = instr[0]
+        if op in _LABEL_OPERAND_OPS:
+            out.append((op, resolve(instr[1])))
+        elif op == I.SWITCH_ON_TERM:
+            out.append((
+                op,
+                resolve(instr[1]),
+                resolve(instr[2]),
+                resolve(instr[3]),
+                resolve(instr[4]),
+            ))
+        elif op in (I.SWITCH_ON_CONSTANT, I.SWITCH_ON_STRUCTURE):
+            table = {key: resolve(lbl) for key, lbl in instr[1].items()}
+            out.append((op, table, resolve(instr[2])))
+        else:
+            out.append(instr)
+    return out

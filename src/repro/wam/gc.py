@@ -1,0 +1,238 @@
+"""Sliding compaction of the global stack (heap) — paper §3.3.2.
+
+The paper: "The global stack which is used to dynamically build complex
+data structures, is garbage collected by means of a sliding incremental
+garbage collector."  We implement a sliding (order-preserving) mark &
+compact collector invoked at procedure-return safe points; "incremental"
+shows up as frequent small collections governed by ``gc_threshold``
+rather than one monolithic pause, and the collector can be disabled for
+critical regions (``machine.gc_enabled``), as the paper requires.
+
+Safety rules
+------------
+* Only the region above the *floor* — the heap mark of the query's
+  bottom barrier — is collected; everything below it (the query goal
+  itself and any prior-session data) is immovable.
+* The collector refuses to run (the machine skips it) while nested
+  barriers or generator choice points exist, because Python generators
+  capture raw heap cells the collector cannot rewrite.
+* Choice-point heap marks (``cp.h``) are remapped so backtracking
+  truncation stays exact; trail addresses are roots, so every trail
+  entry's slot survives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+
+def gc_allowed(machine) -> bool:
+    """GC is safe only with at most the single bottom barrier and no
+    generator choice points on the OR-stack."""
+    barriers = 0
+    cp = machine.b
+    while cp is not None:
+        if cp.kind == "gen":
+            return False
+        if cp.kind == "barrier":
+            barriers += 1
+            if barriers > 1:
+                return False
+        cp = cp.prev
+    return True
+
+
+def collect_heap(machine) -> int:
+    """Mark & slide the heap above the floor; returns cells recovered."""
+    if not gc_allowed(machine):
+        return 0
+
+    heap = machine.heap
+    n = len(heap)
+    floor = _find_floor(machine)
+    if floor >= n:
+        return 0
+
+    live = bytearray(n)
+    for i in range(floor):
+        live[i] = 1
+
+    worklist: List[int] = []
+
+    def mark_target(cell) -> None:
+        if cell is None:
+            return
+        tag = cell[0]
+        if tag == "REF" or tag == "STR":
+            addr = cell[1]
+            if 0 <= addr < n and not live[addr]:
+                worklist.append(addr)
+        elif tag == "LIS":
+            # A list cell references a *pair*: head at a, tail at a+1.
+            addr = cell[1]
+            if 0 <= addr < n:
+                if not live[addr]:
+                    worklist.append(addr)
+                if addr + 1 < n and not live[addr + 1]:
+                    worklist.append(addr + 1)
+
+    # --- roots ----------------------------------------------------------
+    for cell in machine.x:
+        mark_target(cell)
+    for holder in machine.rooted:
+        mark_target(holder[0])
+
+    envs = _collect_envs(machine)
+    for env in envs:
+        for cell in env.slots:
+            if cell is not None and cell[0] != "LVL":
+                mark_target(cell)
+    cp = machine.b
+    while cp is not None:
+        for cell in cp.args:
+            mark_target(cell)
+        cp = cp.prev
+
+    # Cells below the floor may point above it (bindings made after the
+    # barrier was pushed).
+    for i in range(floor):
+        _mark_cell_refs(heap[i], mark_target, machine)
+
+    # --- mark ------------------------------------------------------------
+    dictionary = machine.dictionary
+    while worklist:
+        addr = worklist.pop()
+        if live[addr]:
+            continue
+        live[addr] = 1
+        cell = heap[addr]
+        tag = cell[0]
+        if tag == "REF":
+            target = cell[1]
+            if target != addr and not live[target]:
+                worklist.append(target)
+        elif tag == "STR":
+            a = cell[1]
+            if not live[a]:
+                worklist.append(a)
+            arity = dictionary.arity(heap[a][1])
+            for k in range(1, arity + 1):
+                if not live[a + k]:
+                    worklist.append(a + k)
+        elif tag == "LIS":
+            a = cell[1]
+            if not live[a]:
+                worklist.append(a)
+            if not live[a + 1]:
+                worklist.append(a + 1)
+        elif tag == "FUN":
+            arity = dictionary.arity(cell[1])
+            for k in range(1, arity + 1):
+                if not live[addr + k]:
+                    worklist.append(addr + k)
+
+    # --- pinned trail slots ------------------------------------------------
+    # Trail entries must keep their *slot* (unwinding writes to it) but
+    # their contents are dead unless reachable from a real root; pinning
+    # without tracing lets the bound junk go (a cut can strand arbitrary
+    # amounts of trailed garbage otherwise).
+    pinned = set()
+    for addr in machine.trail:
+        if addr < n and not live[addr]:
+            live[addr] = 1
+            pinned.add(addr)
+
+    # --- compute relocation ------------------------------------------------
+    new_addr = [0] * n
+    cursor = 0
+    for i in range(n):
+        new_addr[i] = cursor
+        if live[i]:
+            cursor += 1
+    recovered = n - cursor
+    if recovered == 0:
+        return 0
+
+    def relocate(cell):
+        if cell is None:
+            return None
+        tag = cell[0]
+        if tag == "REF" or tag == "STR" or tag == "LIS":
+            addr = cell[1]
+            if 0 <= addr < n:
+                return (tag, new_addr[addr])
+        return cell
+
+    # --- slide ----------------------------------------------------------
+    new_heap = []
+    for i in range(n):
+        if live[i]:
+            if i in pinned:
+                # Unreachable trailed slot: reset to unbound now; the
+                # eventual trail unwind would do the same.
+                pos = new_addr[i]
+                new_heap.append(("REF", pos))
+            else:
+                new_heap.append(relocate(heap[i]))
+    machine.heap = new_heap
+
+    # --- rewrite roots ------------------------------------------------------
+    machine.x = [relocate(c) for c in machine.x]
+    for holder in machine.rooted:
+        holder[0] = relocate(holder[0])
+    machine.trail = [new_addr[a] for a in machine.trail if a < n]
+    for env in envs:
+        env.slots = [
+            c if (c is not None and c[0] == "LVL") else relocate(c)
+            for c in env.slots
+        ]
+    cp = machine.b
+    while cp is not None:
+        cp.args = tuple(relocate(c) for c in cp.args)
+        # cp.h maps to the number of live cells below the old mark.
+        cp.h = _live_prefix(live, new_addr, cp.h, n)
+        cp = cp.prev
+
+    return recovered
+
+
+def _live_prefix(live: bytearray, new_addr: List[int], h: int, n: int) -> int:
+    if h >= n:
+        return new_addr[n - 1] + live[n - 1] if n else 0
+    return new_addr[h]
+
+
+def _mark_cell_refs(cell, mark_target, machine) -> None:
+    """Mark addresses referenced by an (immovable) below-floor cell."""
+    tag = cell[0]
+    if tag == "REF" or tag == "STR" or tag == "LIS":
+        mark_target(cell)
+
+
+def _find_floor(machine) -> int:
+    """Heap mark of the bottom-most barrier (0 if none)."""
+    floor = 0
+    cp = machine.b
+    while cp is not None:
+        if cp.kind == "barrier":
+            floor = cp.h
+        cp = cp.prev
+    return floor
+
+
+def _collect_envs(machine) -> List:
+    seen: Set[int] = set()
+    envs: List = []
+
+    def add_chain(env) -> None:
+        while env is not None and id(env) not in seen:
+            seen.add(id(env))
+            envs.append(env)
+            env = env.prev
+
+    add_chain(machine.e)
+    cp = machine.b
+    while cp is not None:
+        add_chain(cp.e)
+        cp = cp.prev
+    return envs

@@ -1,0 +1,87 @@
+"""Library predicates, written in Prolog and compiled at machine start.
+
+These are ordinary compiled procedures — they exercise the same WAM code
+paths as user programs (list traversal dominates the MVV workload, so the
+library being compiled matters for fidelity).
+"""
+
+PRELUDE_SOURCE = r"""
+% ------------------------------------------------------------------ lists
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, [Y|T]) :- ( X = Y -> true ; memberchk(X, T) ).
+
+reverse(L, R) :- reverse_acc(L, [], R).
+reverse_acc([], A, A).
+reverse_acc([H|T], A, R) :- reverse_acc(T, [H|A], R).
+
+nth0(I, L, E) :- nth_from(L, 0, I, E).
+nth1(I, L, E) :- nth_from(L, 1, I, E).
+nth_from([H|_], N, N, H).
+nth_from([_|T], N0, N, E) :- N1 is N0 + 1, nth_from(T, N1, N, E).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+delete([], _, []).
+delete([H|T], X, R) :- \+ H \= X, !, delete(T, X, R).
+delete([H|T], X, [H|R]) :- delete(T, X, R).
+
+subtract([], _, []).
+subtract([H|T], L, R) :- memberchk(H, L), !, subtract(T, L, R).
+subtract([H|T], L, [H|R]) :- subtract(T, L, R).
+
+intersection([], _, []).
+intersection([H|T], L, [H|R]) :- memberchk(H, L), !, intersection(T, L, R).
+intersection([_|T], L, R) :- intersection(T, L, R).
+
+union([], L, L).
+union([H|T], L, R) :- memberchk(H, L), !, union(T, L, R).
+union([H|T], L, [H|R]) :- union(T, L, R).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S0), S is S0 + H.
+sumlist(L, S) :- sum_list(L, S).
+
+max_list([H|T], M) :- max_list_acc(T, H, M).
+max_list_acc([], M, M).
+max_list_acc([H|T], A, M) :-
+    ( H > A -> max_list_acc(T, H, M) ; max_list_acc(T, A, M) ).
+
+min_list([H|T], M) :- min_list_acc(T, H, M).
+min_list_acc([], M, M).
+min_list_acc([H|T], A, M) :-
+    ( H < A -> min_list_acc(T, H, M) ; min_list_acc(T, A, M) ).
+
+numlist(L, H, [L|T]) :- L =< H, ( L =:= H -> T = [] ;
+    L1 is L + 1, numlist(L1, H, T) ).
+
+% ------------------------------------------------------ cyclic-data safety
+% Transitive closure over a binary relation with a visited list — the
+% library-level facility for querying cyclic data (graphs with loops)
+% without non-termination (paper §1).
+closure(Rel, X, Y) :- closure_step(Rel, X, Y, [X]).
+closure_step(Rel, X, Y, _) :- call(Rel, X, Y).
+closure_step(Rel, X, Y, Seen) :-
+    call(Rel, X, Z),
+    \+ memberchk(Z, Seen),
+    closure_step(Rel, Z, Y, [Z|Seen]).
+
+% ---------------------------------------------------------------- maplist
+maplist(_, []).
+maplist(G, [H|T]) :- call(G, H), maplist(G, T).
+
+maplist(_, [], []).
+maplist(G, [H|T], [H2|T2]) :- call(G, H, H2), maplist(G, T, T2).
+
+maplist(_, [], [], []).
+maplist(G, [A|As], [B|Bs], [C|Cs]) :-
+    call(G, A, B, C), maplist(G, As, Bs, Cs).
+"""

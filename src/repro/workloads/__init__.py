@@ -1,0 +1,13 @@
+"""Workload generators for the paper's three test batteries (§5):
+
+* :mod:`repro.workloads.mvv` — the Muenchner Verkehrs Verbund knowledge
+  base (Table 1, §5.1);
+* :mod:`repro.workloads.wisconsin` — the selected Wisconsin benchmark
+  queries (Tables 2a/2b, §5.2);
+* :mod:`repro.workloads.integrity` — the Bry/Dahmen database integrity
+  checking task (Table 3, §5.3).
+"""
+
+from . import integrity, mvv, wisconsin
+
+__all__ = ["mvv", "wisconsin", "integrity"]

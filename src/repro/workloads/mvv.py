@@ -1,0 +1,308 @@
+"""The Muenchner Verkehrs Verbund knowledge base (paper §5.1, Table 1).
+
+"The MVV combines the use of buses, underground trains, commuter trains
+and trams into one transport network ... Our tests are a set of queries
+on how to get from one part of the city to another, starting at a given
+time."
+
+We generate a synthetic Munich-like multimodal network with exactly the
+paper's relation shapes:
+
+* ``location2``  — arity 2, **2307 tuples**: (stop, zone);
+* ``schedule3``  — arity 11, **8776 tuples**: one tuple per
+  (line, direction, sequence) stop visit, carrying times, transport
+  type, zone, platform, service class and id;
+* ``schedule2``  — arity 5, **7260 tuples**: individual departures
+  (line, direction, hour, minute, service).
+
+Stops live on a grid; lines are lattice walks, so lines genuinely
+intersect and hub stops (many lines) exist — the structural property
+Class-2 queries depend on.  Everything is seeded and deterministic.
+
+Query classes (§5.1):
+
+* **Class 1** — "simple queries: involving travel between adjacent major
+  nodes with minimal choice of means of transport";
+* **Class 2** — "involved queries: travel routes between major nodes,
+  restricted to not more than one change and with many means of
+  transport to choose between".
+
+The journey rules are held in internal storage and the three fact
+relations in the EDB, exactly as the paper describes its setup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine.educe_baseline import EduceBaseline
+from ..engine.session import EduceStar
+
+N_STOPS = 2307
+N_SCHEDULE3 = 8776
+N_SCHEDULE2 = 7260
+
+_TYPES = ["ubahn", "sbahn", "tram", "bus"]
+_GRID_W = 49  # 49 columns over 2307 stops
+
+
+@dataclass
+class LineSpec:
+    name: str
+    type: str
+    stops: List[str]  # forward direction; direction 2 is the reverse
+
+
+@dataclass
+class MVVData:
+    stops: List[str]
+    zones: Dict[str, int]
+    lines: List[LineSpec]
+    hubs: List[str]
+    location2: List[tuple]
+    schedule3: List[tuple]
+    schedule2: List[tuple]
+
+
+def generate(seed: int = 11, scale: float = 1.0) -> MVVData:
+    """Build the network.  ``scale`` < 1 shrinks every relation
+    proportionally (for fast tests); 1.0 gives the paper's cardinalities.
+    """
+    rng = random.Random(seed)
+    n_stops = max(40, int(N_STOPS * scale))
+    n_sched3 = max(80, int(N_SCHEDULE3 * scale))
+    n_sched2 = max(60, int(N_SCHEDULE2 * scale))
+
+    stops = [f"stop_{i:04d}" for i in range(n_stops)]
+    zones = {s: 1 + (i % 16) for i, s in enumerate(stops)}
+    location2 = [(s, zones[s]) for s in stops]
+
+    # --- lines: lattice walks over the stop grid -----------------------
+    grid_w = max(8, int(_GRID_W * (scale ** 0.5)))
+
+    def neighbours(idx: int) -> List[int]:
+        out = []
+        x, y = idx % grid_w, idx // grid_w
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            nidx = ny * grid_w + nx
+            if 0 <= nx < grid_w and 0 <= nidx < n_stops and ny >= 0:
+                out.append(nidx)
+        return out
+
+    lines: List[LineSpec] = []
+    stop_visits = 0  # schedule3 rows = 2 directions * line length
+    line_no = 0
+    while stop_visits < n_sched3:
+        line_no += 1
+        remaining = n_sched3 - stop_visits
+        length = min(rng.randint(12, 28), max(2, remaining // 2))
+        if remaining - 2 * length < 4:  # absorb the remainder exactly
+            length = remaining // 2
+        if length < 2:
+            break
+        path_idx = [rng.randrange(n_stops)]
+        visited = {path_idx[0]}
+        while len(path_idx) < length:
+            options = [n for n in neighbours(path_idx[-1])
+                       if n not in visited]
+            if not options:
+                options = neighbours(path_idx[-1])
+                if not options:
+                    break
+            nxt = rng.choice(options)
+            path_idx.append(nxt)
+            visited.add(nxt)
+        if len(path_idx) < 2:
+            continue
+        ltype = _TYPES[line_no % len(_TYPES)]
+        name = f"{ltype[0]}{line_no}"
+        lines.append(LineSpec(name, ltype, [stops[i] for i in path_idx]))
+        stop_visits += 2 * len(path_idx)
+
+    # --- schedule3: (line, dir, seq, stop, hh, mm, type, zone,
+    #                 platform, service, id) ---------------------------
+    schedule3: List[tuple] = []
+    uid = 0
+    for line in lines:
+        for direction in (1, 2):
+            path = line.stops if direction == 1 else line.stops[::-1]
+            for seq, stop in enumerate(path, start=1):
+                hh = 5 + (seq * 2) // 60
+                mm = (seq * 2) % 60
+                uid += 1
+                schedule3.append((
+                    line.name, direction, seq, stop, hh, mm,
+                    line.type, zones[stop], 1 + uid % 4,
+                    "regular" if uid % 7 else "express", uid,
+                ))
+    schedule3 = schedule3[:n_sched3]
+
+    # --- schedule2: departures (line, dir, hh, mm, service) ------------
+    schedule2: List[tuple] = []
+    pairs = [(line.name, d) for line in lines for d in (1, 2)]
+    i = 0
+    while len(schedule2) < n_sched2:
+        name, direction = pairs[i % len(pairs)]
+        k = len(schedule2) // len(pairs)
+        hh = 5 + ((k * 37) // 60) % 19
+        mm = (k * 37) % 60
+        schedule2.append((name, direction, hh, mm,
+                          "regular" if (i + k) % 5 else "express"))
+        i += 1
+
+    # --- hubs: stops served by the most lines --------------------------
+    line_count: Dict[str, Set[str]] = {}
+    for line in lines:
+        for stop in line.stops:
+            line_count.setdefault(stop, set()).add(line.name)
+    hubs = sorted(line_count, key=lambda s: -len(line_count[s]))[:30]
+
+    return MVVData(stops, zones, lines, hubs,
+                   location2, schedule3, schedule2)
+
+
+# =====================================================================
+# the journey rules (internal storage, per §5.1)
+# =====================================================================
+
+RULES = r"""
+hm_minutes(H, M, T) :- T is H * 60 + M.
+
+on_line(S, L, D, Q) :- schedule3(L, D, Q, S, _, _, _, _, _, _, _).
+
+hop(A, B, L, D) :-
+    on_line(A, L, D, QA),
+    QB is QA + 1,
+    on_line(B, L, D, QB).
+
+next_departure(L, D, T0, T) :-
+    findall(TD, (schedule2(L, D, H, M, _),
+                 hm_minutes(H, M, TD), TD >= T0), Ts),
+    Ts \== [],
+    min_list(Ts, T).
+
+ride_time(QA, QB, T) :- T is (QB - QA) * 2.
+
+% Class 1: one hop between adjacent nodes, with the next departure.
+class1(A, B, T0, journey(L, D, Dep, Arr)) :-
+    hop(A, B, L, D),
+    next_departure(L, D, T0, Dep),
+    Arr is Dep + 2.
+
+same_line(A, B, L, D, QA, QB) :-
+    on_line(A, L, D, QA),
+    on_line(B, L, D, QB),
+    QA < QB.
+
+% Class 2: at most one change between major nodes.
+route(A, B, T0, direct(L, Dep, Arr)) :-
+    same_line(A, B, L, D, QA, QB),
+    next_departure(L, D, T0, Dep),
+    ride_time(QA, QB, RT),
+    Arr is Dep + RT.
+
+route(A, B, T0, change(L1, C, L2, Dep1, Arr)) :-
+    same_line(A, C, L1, D1, QA, QC),
+    same_line(C, B, L2, D2, QC2, QB),
+    L1 \== L2,
+    next_departure(L1, D1, T0, Dep1),
+    ride_time(QA, QC, RT1),
+    Arr1 is Dep1 + RT1 + 3,
+    next_departure(L2, D2, Arr1, Dep2),
+    ride_time(QC2, QB, RT2),
+    Arr is Dep2 + RT2.
+
+best_route(A, B, T0, Plan, Arr) :-
+    findall(Arr1-Plan1, plan_of(A, B, T0, Plan1, Arr1), Pairs),
+    Pairs \== [],
+    msort(Pairs, [Arr-Plan|_]).
+
+plan_of(A, B, T0, Plan, Arr) :-
+    route(A, B, T0, Plan),
+    plan_arrival(Plan, Arr).
+
+plan_arrival(direct(_, _, Arr), Arr).
+plan_arrival(change(_, _, _, _, Arr), Arr).
+
+% Zone fare helper over location2.
+fare(A, B, F) :-
+    location2(A, ZA),
+    location2(B, ZB),
+    F is abs(ZA - ZB) + 1.
+"""
+
+SCHEDULE3_TYPES = ["atom", "int", "int", "atom", "int", "int", "atom",
+                   "int", "int", "atom", "int"]
+SCHEDULE2_TYPES = ["atom", "int", "int", "int", "atom"]
+LOCATION2_TYPES = ["atom", "int"]
+
+
+def load_educestar(data: MVVData,
+                   session: Optional[EduceStar] = None) -> EduceStar:
+    """Rules internal (compiled), facts in the EDB — the §5.1 setup."""
+    session = session or EduceStar()
+    session.store_relation("location2", data.location2, LOCATION2_TYPES)
+    session.store_relation("schedule3", data.schedule3, SCHEDULE3_TYPES)
+    session.store_relation("schedule2", data.schedule2, SCHEDULE2_TYPES)
+    session.consult(RULES)
+    return session
+
+
+def load_baseline(data: MVVData,
+                  baseline: Optional[EduceBaseline] = None) -> EduceBaseline:
+    """Rules internal (interpreted), facts in the EDB — the Educe setup."""
+    baseline = baseline or EduceBaseline()
+    baseline.store_relation("location2", data.location2, LOCATION2_TYPES)
+    baseline.store_relation("schedule3", data.schedule3, SCHEDULE3_TYPES)
+    baseline.store_relation("schedule2", data.schedule2, SCHEDULE2_TYPES)
+    baseline.consult(RULES)
+    return baseline
+
+
+# =====================================================================
+# query sampling
+# =====================================================================
+
+def class1_queries(data: MVVData, n: int = 10, seed: int = 5) -> List[str]:
+    """Adjacent hub-ish pairs: guaranteed at least one direct hop."""
+    rng = random.Random(seed)
+    hubset = set(data.hubs)
+    candidates: List[Tuple[str, str]] = []
+    for line in data.lines:
+        for a, b in zip(line.stops, line.stops[1:]):
+            if a in hubset or b in hubset:
+                candidates.append((a, b))
+    if not candidates:
+        for line in data.lines:
+            candidates.extend(zip(line.stops, line.stops[1:]))
+    rng.shuffle(candidates)
+    return [f"class1({a}, {b}, 360, Plan)" for a, b in candidates[:n]]
+
+
+def class2_queries(data: MVVData, n: int = 10, seed: int = 6) -> List[str]:
+    """Hub pairs connected with exactly one change (by construction)."""
+    rng = random.Random(seed)
+    by_stop: Dict[str, List[LineSpec]] = {}
+    for line in data.lines:
+        for stop in line.stops:
+            by_stop.setdefault(stop, []).append(line)
+    pairs: List[Tuple[str, str]] = []
+    for hub in data.hubs:
+        lines_here = by_stop.get(hub, [])
+        if len(lines_here) < 2:
+            continue
+        for _ in range(4):
+            l1, l2 = rng.sample(lines_here, 2)
+            qa = l1.stops.index(hub)
+            qb = l2.stops.index(hub)
+            if qa == 0 or qb == len(l2.stops) - 1:
+                continue
+            a = l1.stops[rng.randrange(0, qa)]
+            b = l2.stops[rng.randrange(qb + 1, len(l2.stops))]
+            if a != b:
+                pairs.append((a, b))
+    rng.shuffle(pairs)
+    return [f"route({a}, {b}, 360, Plan)" for a, b in pairs[:n]]

@@ -1,0 +1,213 @@
+"""Error-path and edge-case coverage for the machine built-ins."""
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    InstantiationError,
+    PrologError,
+    TypeError_,
+)
+from repro.lang.writer import term_to_text
+
+
+def fails(machine, goal):
+    return machine.solve_once(goal) is None
+
+
+class TestArithmeticErrors:
+    def test_div_by_zero_variants(self, machine):
+        for expr in ("1 / 0", "1 // 0", "1 mod 0", "1 rem 0"):
+            with pytest.raises(EvaluationError):
+                machine.solve_once(f"_ is {expr}")
+
+    def test_unbound_subexpression(self, machine):
+        with pytest.raises(InstantiationError):
+            machine.solve_once("_ is 1 + _")
+
+    def test_non_evaluable_atom(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("_ is banana")
+
+    def test_non_evaluable_compound(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("_ is foo(1, 2)")
+
+    def test_comparison_propagates_errors(self, machine):
+        with pytest.raises(InstantiationError):
+            machine.solve_once("X < 3")
+
+    def test_intdiv_requires_integers(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("_ is 1.5 // 2")
+
+
+class TestInspectionErrors:
+    def test_functor_all_unbound(self, machine):
+        with pytest.raises(InstantiationError):
+            machine.solve_once("functor(_, _, _)")
+
+    def test_functor_bad_arity_type(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("functor(_, foo, bar)")
+
+    def test_functor_compound_name_for_arity0(self, machine):
+        # functor(T, 3, 0) → T = 3 per ISO
+        assert machine.solve_once("functor(T, 3, 0), T == 3") is not None
+
+    def test_arg_unbound_index(self, machine):
+        with pytest.raises(InstantiationError):
+            machine.solve_once("arg(_, f(a), _)")
+
+    def test_arg_on_atomic(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("arg(1, atom, _)")
+
+    def test_arg_zero_and_negative(self, machine):
+        assert fails(machine, "arg(0, f(a), _)")
+        assert fails(machine, "arg(-1, f(a), _)")
+
+    def test_univ_empty_list(self, machine):
+        with pytest.raises(PrologError):
+            machine.solve_once("_ =.. []")
+
+    def test_univ_nonatom_head_with_args(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("_ =.. [1, 2]")
+
+    def test_univ_atomic_singleton(self, machine):
+        assert machine.solve_once("T =.. [42], T == 42") is not None
+
+
+class TestAtomBuiltinErrors:
+    def test_atom_length_on_number_is_text(self, machine):
+        # numbers have a text representation (SWI-style leniency)
+        assert machine.solve_once("atom_length(123, 3)") is not None
+
+    def test_atom_length_on_compound(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("atom_length(f(x), _)")
+
+    def test_atom_codes_bad_code_list(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("atom_codes(_, [a, b])")
+
+    def test_number_codes_garbage(self, machine):
+        with pytest.raises(PrologError):
+            machine.solve_once('number_codes(_, "xyz")')
+
+    def test_char_code_multichar(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("char_code(ab, _)")
+
+    def test_char_code_both_unbound(self, machine):
+        with pytest.raises(InstantiationError):
+            machine.solve_once("char_code(_, _)")
+
+
+class TestListBuiltinEdges:
+    def test_length_negative_fails(self, machine):
+        assert fails(machine, "length(_, -1)")
+
+    def test_length_non_list(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("length(foo, _)")
+
+    def test_between_unbound_bounds(self, machine):
+        with pytest.raises(InstantiationError):
+            machine.solve_once("between(_, 10, 3)")
+
+    def test_between_empty_range(self, machine):
+        assert fails(machine, "between(5, 1, _)")
+
+    def test_keysort_requires_pairs(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("keysort([a], _)")
+
+    def test_msort_improper_list(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("msort([1|foo], _)")
+
+    def test_succ_negative(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("succ(-1, _)")
+
+    def test_plus_underspecified(self, machine):
+        with pytest.raises(InstantiationError):
+            machine.solve_once("plus(_, _, 3)")
+
+    def test_plus_solves_each_position(self, machine):
+        assert machine.solve_once("plus(1, 2, X)")["X"] == 3
+        assert machine.solve_once("plus(1, X, 3)")["X"] == 2
+        assert machine.solve_once("plus(X, 2, 3)")["X"] == 1
+
+
+class TestAggregateEdges:
+    def test_aggregate_all_sum_empty_is_zero(self, machine):
+        machine.consult(":- dynamic v/1.")
+        assert machine.solve_once(
+            "aggregate_all(sum(X), v(X), 0)") is not None
+
+    def test_aggregate_all_max_empty_fails(self, machine):
+        machine.consult(":- dynamic w/1.")
+        assert fails(machine, "aggregate_all(max(X), w(X), _)")
+
+    def test_aggregate_all_bag(self, machine):
+        machine.consult("u(3). u(1).")
+        sol = machine.solve_once("aggregate_all(bag(X), u(X), L)")
+        assert term_to_text(sol["L"]) == "[3,1]"
+
+    def test_aggregate_non_numeric_sum_raises(self, machine):
+        machine.consult("s(a).")
+        with pytest.raises(TypeError_):
+            machine.solve_once("aggregate_all(sum(X), s(X), _)")
+
+    def test_unknown_spec_raises(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("aggregate_all(median(X), s2(X), _)")
+
+
+class TestControlEdges:
+    def test_findall_with_error_in_goal_propagates(self, machine):
+        with pytest.raises(EvaluationError):
+            machine.solve_once("findall(X, X is 1/0, _)")
+
+    def test_negation_of_error_propagates(self, machine):
+        with pytest.raises(InstantiationError):
+            machine.solve_once("\\+ (_ is _ + 1)")
+
+    def test_call_of_integer_raises(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("G = 42, call(G)")
+
+    def test_deeply_nested_once(self, machine):
+        machine.consult("m(1). m(2).")
+        sol = machine.solve_once("once(once(once(m(X))))")
+        assert sol["X"] == 1
+
+    def test_forall_with_empty_condition(self, machine):
+        machine.consult(":- dynamic none/1.")
+        assert machine.solve_once("forall(none(_), fail)") is not None
+
+    def test_halt_raises(self, machine):
+        with pytest.raises(PrologError):
+            machine.solve_once("halt")
+
+    def test_abolish_bad_spec(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("abolish(foo)")
+
+    def test_dynamic_bad_spec(self, machine):
+        with pytest.raises(TypeError_):
+            machine.solve_once("dynamic(17)")
+
+
+class TestWriterEdges:
+    def test_solution_with_renamed_vars(self, machine):
+        sol = machine.solve_once("X = f(A, B, A)")
+        assert term_to_text(sol["X"]) == "f(_G1,_G2,_G1)"
+
+    def test_deep_nesting_roundtrip(self, machine):
+        deep = "f(" * 30 + "x" + ")" * 30
+        sol = machine.solve_once(f"X = {deep}")
+        assert term_to_text(sol["X"]) == deep

@@ -1,0 +1,125 @@
+"""Failure-injection and robustness tests for the storage stack."""
+
+import pickle
+
+import pytest
+
+from repro.bang.grid import BangGrid
+from repro.bang.pager import DiskStore, Pager
+from repro.errors import PageError, ResourceError
+
+
+class TestDiskCorruption:
+    def test_corrupt_page_image_raises_on_read(self):
+        disk = DiskStore()
+        pid = disk.allocate()
+        disk.write(pid, ["good"])
+        disk._pages[pid] = b"\x00garbage that is not pickle"
+        with pytest.raises(Exception):
+            disk.read(pid)
+
+    def test_truncated_pickle_raises(self):
+        disk = DiskStore()
+        pid = disk.allocate()
+        disk.write(pid, list(range(100)))
+        disk._pages[pid] = disk._pages[pid][:10]
+        with pytest.raises(Exception):
+            disk.read(pid)
+
+    def test_missing_page_after_free(self):
+        pager = Pager(buffer_pages=1)
+        pid = pager.allocate(["x"])
+        # force it out of the buffer, then free the backing page
+        other = pager.allocate(["y"])
+        pager.get(other)
+        pager.disk.free(pid)
+        with pytest.raises(PageError):
+            # not resident and gone from disc
+            pager.buffer._frames.pop(pid, None)
+            pager.get(pid)
+
+
+class TestGridStress:
+    def test_delete_reinsert_cycles_preserve_contents(self):
+        import random
+        rng = random.Random(3)
+        grid = BangGrid(2, Pager(buffer_pages=8), bucket_capacity=4)
+        model = {}
+        next_id = 0
+        for step in range(400):
+            if model and rng.random() < 0.4:
+                key = rng.choice(list(model))
+                rid = model.pop(key)
+                assert grid.delete(key, lambda r: r == rid) == 1
+            else:
+                key = (round(rng.random(), 3), round(rng.random(), 3))
+                if key in model:
+                    continue
+                model[key] = next_id
+                grid.insert(key, next_id)
+                next_id += 1
+        assert sorted(grid.scan()) == sorted(model.values())
+        assert grid.size == len(model)
+
+    def test_every_point_query_after_stress(self):
+        import random
+        rng = random.Random(9)
+        grid = BangGrid(1, Pager(buffer_pages=4), bucket_capacity=3)
+        keys = [(round(rng.random(), 4),) for _ in range(120)]
+        for i, key in enumerate(keys):
+            grid.insert(key, i)
+        for i, key in enumerate(keys):
+            box = ((key[0], key[0]),)
+            assert i in list(grid.query(box))
+
+
+class TestDictionaryPressure:
+    def test_many_segments_under_churn(self):
+        from repro.dictionary import SegmentedDictionary
+        d = SegmentedDictionary(segment_capacity=64, high_water=0.6)
+        live = {}
+        for wave in range(8):
+            for i in range(200):
+                name = f"w{wave}_n{i}"
+                live[(name, 0)] = d.intern(name, 0)
+            # delete every other entry from this wave
+            for i in range(0, 200, 2):
+                name = f"w{wave}_n{i}"
+                d.delete(live.pop((name, 0)))
+        # everything still live resolves correctly
+        for (name, arity), ident in live.items():
+            assert d.functor(ident) == (name, arity)
+
+    def test_identifier_never_recycled_while_live(self):
+        from repro.dictionary import SegmentedDictionary
+        d = SegmentedDictionary(segment_capacity=32, high_water=0.5)
+        ids = {}
+        for i in range(300):
+            ids[i] = d.intern(f"stable_{i}", 1)
+            if i >= 50 and i % 3 == 0:
+                d.delete(ids.pop(i - 50))
+        seen = list(ids.values())
+        assert len(seen) == len(set(seen))
+
+
+class TestMachineResourceEdges:
+    def test_deep_goal_nesting(self, machine):
+        goal = "X = " + "f(" * 80 + "1" + ")" * 80
+        assert machine.solve_once(goal) is not None
+
+    def test_huge_disjunction_compiles(self, machine):
+        body = " ; ".join(f"X = {i}" for i in range(120))
+        machine.consult(f"many(X) :- ({body}).")
+        assert machine.count_solutions("many(_)") == 120
+
+    def test_many_procedures(self, machine):
+        program = "\n".join(f"pr_{i}({i})." for i in range(400))
+        machine.consult(program)
+        assert machine.solve_once("pr_399(X)")["X"] == 399
+
+    def test_wide_clause_many_args(self, machine):
+        args = ", ".join(f"a{i}" for i in range(40))
+        machine.consult(f"wide({args}).")
+        vars_ = ", ".join(f"V{i}" for i in range(40))
+        sol = machine.solve_once(f"wide({vars_})")
+        assert str(sol["V39"]) == "a39"

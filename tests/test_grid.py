@@ -1,0 +1,209 @@
+"""Tests for the BANG-style multidimensional partition index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bang.grid import BangGrid, full_box, point_box
+from repro.bang.pager import Pager
+
+
+def make_grid(ndims=2, capacity=8, buffer_pages=64):
+    return BangGrid(ndims, Pager(buffer_pages=buffer_pages),
+                    bucket_capacity=capacity)
+
+
+class TestInsertQuery:
+    def test_single_insert_roundtrip(self):
+        g = make_grid()
+        g.insert((0.5, 0.5), "rec")
+        assert list(g.scan()) == ["rec"]
+
+    def test_point_query(self):
+        g = make_grid()
+        g.insert((0.1, 0.2), "a")
+        g.insert((0.3, 0.4), "b")
+        box = ((0.1, 0.1), (0.2, 0.2))
+        assert list(g.query(box)) == ["a"]
+
+    def test_range_query(self):
+        g = make_grid(ndims=1)
+        for i in range(20):
+            g.insert((i / 20.0,), i)
+        got = sorted(g.query(((0.25, 0.5),)))
+        assert got == [i for i in range(20) if 0.25 <= i / 20.0 <= 0.5]
+
+    def test_wrong_arity_raises(self):
+        g = make_grid(ndims=2)
+        with pytest.raises(ValueError):
+            g.insert((0.5,), "x")
+
+    def test_needs_dimension(self):
+        with pytest.raises(ValueError):
+            BangGrid(0, Pager())
+
+
+class TestSplitting:
+    def test_splits_on_overflow(self):
+        g = make_grid(ndims=2, capacity=4)
+        rng = random.Random(1)
+        for i in range(100):
+            g.insert((rng.random(), rng.random()), i)
+        assert g.leaf_count > 1
+        assert g.splits == g.leaf_count - 1
+        assert sorted(g.scan()) == list(range(100))
+
+    def test_duplicate_keys_allowed_oversized_bucket(self):
+        g = make_grid(ndims=1, capacity=4)
+        for i in range(20):
+            g.insert((0.5,), i)
+        assert sorted(g.query(((0.5, 0.5),))) == list(range(20))
+
+    def test_median_split_balances_skew(self):
+        g = make_grid(ndims=1, capacity=10)
+        # heavily skewed keys near 0.9
+        for i in range(200):
+            g.insert((0.9 + i * 1e-6,), i)
+        sizes = []
+        stack = [g.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                sizes.append(node.count)
+            else:
+                stack.extend([node.left, node.right])
+        assert max(sizes) <= 11  # capacity + in-flight insert
+
+
+class TestDeletion:
+    def test_delete_exact(self):
+        g = make_grid()
+        g.insert((0.5, 0.5), "a")
+        g.insert((0.5, 0.5), "b")
+        removed = g.delete((0.5, 0.5), lambda r: r == "a")
+        assert removed == 1
+        assert list(g.scan()) == ["b"]
+        assert g.size == 1
+
+    def test_delete_no_match(self):
+        g = make_grid()
+        g.insert((0.5, 0.5), "a")
+        assert g.delete((0.5, 0.5), lambda r: r == "zzz") == 0
+
+
+class TestCompaction:
+    def test_explicit_compact_merges_underfull_siblings(self):
+        import random
+        rng = random.Random(4)
+        pager = Pager(buffer_pages=64)
+        g = BangGrid(1, pager, bucket_capacity=8)
+        keys = [(rng.random(),) for _ in range(200)]
+        for i, key in enumerate(keys):
+            g.insert(key, i)
+        leaves_full = g.leaf_count
+        # delete most entries
+        survivors = {}
+        for i, key in enumerate(keys):
+            if i % 10 == 0:
+                survivors[i] = key
+            else:
+                g.delete(key, lambda r, i=i: r == i)
+        g.compact()
+        assert g.leaf_count < leaves_full
+        assert g.merges > 0
+        assert sorted(g.scan()) == sorted(survivors)
+        for i, key in survivors.items():
+            assert i in list(g.query(((key[0], key[0]),)))
+
+    def test_compact_frees_disc_pages(self):
+        pager = Pager(buffer_pages=64)
+        g = BangGrid(1, pager, bucket_capacity=4)
+        for i in range(60):
+            g.insert((i / 60.0,), i)
+        pages_before = pager.disk.page_count
+        for i in range(60):
+            g.delete((i / 60.0,), lambda r, i=i: r == i)
+        g.compact()
+        assert pager.disk.page_count < pages_before
+        assert g.size == 0
+
+    def test_auto_compact_triggered_by_delete_volume(self):
+        pager = Pager(buffer_pages=64)
+        g = BangGrid(1, pager, bucket_capacity=4)
+        g.compact_every = 50
+        for i in range(120):
+            g.insert((i / 120.0,), i)
+        for i in range(110):
+            g.delete((i / 120.0,), lambda r, i=i: r == i)
+        assert g.merges > 0  # compaction ran without an explicit call
+
+    def test_compact_noop_on_full_tree(self):
+        pager = Pager(buffer_pages=64)
+        g = BangGrid(1, pager, bucket_capacity=4)
+        for i in range(40):
+            g.insert((i / 40.0,), i)
+        assert g.compact() == 0
+        assert sorted(g.scan()) == list(range(40))
+
+
+class TestPartialMatch:
+    def test_point_box_helper(self):
+        box = point_box({1: 0.5}, 3)
+        assert box == ((0.0, 1.0), (0.5, 0.5), (0.0, 1.0))
+
+    def test_partial_match_visits_fewer_leaves(self):
+        g = make_grid(ndims=2, capacity=4)
+        rng = random.Random(7)
+        for i in range(300):
+            g.insert((rng.random(), rng.random()), i)
+        total = g.leaf_count
+        partial = g.leaves_for(((0.25, 0.25), (0.0, 1.0)))
+        point = g.leaves_for(((0.25, 0.25), (0.75, 0.75)))
+        assert point <= partial <= total
+        assert partial < total
+
+    def test_io_accounting_per_leaf_visit(self):
+        pager = Pager(buffer_pages=2)
+        g = BangGrid(1, pager, bucket_capacity=4)
+        for i in range(50):
+            g.insert((i / 50.0,), i)
+        pager.reset_counters()
+        list(g.query(((0.0, 1.0),)))
+        c = pager.io_counters()
+        touched = c["buffer_hits"] + c["buffer_misses"]
+        assert touched == g.leaf_count
+
+
+class TestStats:
+    def test_stats_keys(self):
+        g = make_grid()
+        g.insert((0.5, 0.5), 1)
+        s = g.stats()
+        assert s["size"] == 1 and s["leaves"] == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=0.999),
+              st.floats(min_value=0.0, max_value=0.999)),
+    min_size=1, max_size=150))
+def test_property_grid_equals_brute_force(points):
+    """Every box query returns exactly the brute-force answer."""
+    g = make_grid(ndims=2, capacity=6)
+    for i, key in enumerate(points):
+        g.insert(key, i)
+    boxes = [
+        ((0.0, 1.0), (0.0, 1.0)),
+        ((0.2, 0.7), (0.0, 1.0)),
+        ((0.0, 0.5), (0.5, 1.0)),
+        (tuple([points[0][0], points[0][0]]),
+         tuple([points[0][1], points[0][1]])),
+    ]
+    for box in boxes:
+        got = sorted(g.query(box))
+        want = sorted(
+            i for i, (x, y) in enumerate(points)
+            if box[0][0] <= x <= box[0][1]
+            and box[1][0] <= y <= box[1][1])
+        assert got == want

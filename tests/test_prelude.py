@@ -1,0 +1,106 @@
+"""Tests for the compiled Prolog library (prelude)."""
+
+import pytest
+
+from repro.lang.writer import term_to_text
+
+
+def one(machine, goal, var):
+    sol = machine.solve_once(goal)
+    assert sol is not None, goal
+    return term_to_text(sol[var])
+
+
+def all_(machine, goal, var):
+    return [term_to_text(s[var]) for s in machine.solve(goal)]
+
+
+class TestAppendMember:
+    def test_append_ground(self, machine):
+        assert one(machine, "append([1,2], [3], L)", "L") == "[1,2,3]"
+
+    def test_append_split_enumeration(self, machine):
+        assert len(list(machine.solve("append(_, _, [a,b,c])"))) == 4
+
+    def test_append_finds_prefix(self, machine):
+        assert one(machine, "append(P, [c], [a,b,c])", "P") == "[a,b]"
+
+    def test_member_enumerates(self, machine):
+        assert all_(machine, "member(X, [a,b,c])", "X") == ["a", "b", "c"]
+
+    def test_member_checks(self, machine):
+        assert machine.solve_once("member(b, [a,b])") is not None
+        assert machine.solve_once("member(z, [a,b])") is None
+
+    def test_memberchk_deterministic(self, machine):
+        assert len(list(machine.solve("memberchk(a, [a,a,a])"))) == 1
+
+
+class TestListUtilities:
+    def test_reverse(self, machine):
+        assert one(machine, "reverse([1,2,3], R)", "R") == "[3,2,1]"
+
+    def test_nth0_nth1(self, machine):
+        assert one(machine, "nth0(0, [a,b], E)", "E") == "a"
+        assert one(machine, "nth1(1, [a,b], E)", "E") == "a"
+
+    def test_nth_enumerates_positions(self, machine):
+        sols = [(s["I"], str(s["E"]))
+                for s in machine.solve("nth0(I, [x,y], E)")]
+        assert sols == [(0, "x"), (1, "y")]
+
+    def test_last(self, machine):
+        assert one(machine, "last([1,2,3], X)", "X") == "3"
+
+    def test_select(self, machine):
+        assert all_(machine, "select(X, [a,b], _)", "X") == ["a", "b"]
+        assert one(machine, "select(b, [a,b,c], R)", "R") == "[a,c]"
+
+    def test_delete(self, machine):
+        assert one(machine, "delete([a,b,a,c], a, R)", "R") == "[b,c]"
+
+    def test_subtract(self, machine):
+        assert one(machine, "subtract([1,2,3,4], [2,4], R)", "R") == "[1,3]"
+
+    def test_intersection_union(self, machine):
+        assert one(machine, "intersection([1,2,3], [2,3,4], R)", "R") \
+            == "[2,3]"
+        assert one(machine, "union([1,2], [2,3], R)", "R") == "[1,2,3]"
+
+
+class TestNumericLists:
+    def test_sum_list(self, machine):
+        assert one(machine, "sum_list([1,2,3], S)", "S") == "6"
+        assert one(machine, "sum_list([], S)", "S") == "0"
+
+    def test_max_min_list(self, machine):
+        assert one(machine, "max_list([3,1,4,1,5], M)", "M") == "5"
+        assert one(machine, "min_list([3,1,4], M)", "M") == "1"
+
+    def test_numlist(self, machine):
+        assert one(machine, "numlist(2, 5, L)", "L") == "[2,3,4,5]"
+
+    def test_numlist_single(self, machine):
+        assert one(machine, "numlist(3, 3, L)", "L") == "[3]"
+
+    def test_numlist_empty_range_fails(self, machine):
+        assert machine.solve_once("numlist(5, 2, _)") is None
+
+
+class TestMaplist:
+    def test_maplist2(self, machine):
+        machine.consult("pos(X) :- X > 0.")
+        assert machine.solve_once("maplist(pos, [1,2,3])") is not None
+        assert machine.solve_once("maplist(pos, [1,-2])") is None
+
+    def test_maplist3(self, machine):
+        machine.consult("double(X, Y) :- Y is 2 * X.")
+        assert one(machine, "maplist(double, [1,2,3], L)", "L") == "[2,4,6]"
+
+    def test_maplist4(self, machine):
+        machine.consult("addp(A, B, C) :- C is A + B.")
+        assert one(machine, "maplist(addp, [1,2], [10,20], L)", "L") \
+            == "[11,22]"
+
+    def test_maplist_empty(self, machine):
+        assert machine.solve_once("maplist(nothing, [])") is not None

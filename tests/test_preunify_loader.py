@@ -1,0 +1,175 @@
+"""Tests for pre-unification and the dynamic loader (paper §3.1, §4)."""
+
+import pytest
+
+from repro.edb.loader import DynamicLoader
+from repro.edb.preunify import PreUnifier
+from repro.edb.store import ExternalStore
+from repro.engine.session import EduceStar
+from repro.lang.reader import read_terms
+from repro.wam.machine import Machine
+
+
+def make_session(depth="full", index=True):
+    return EduceStar(preunify_depth=depth, index=index)
+
+
+PROG = """
+p(a, 1).
+p(b, 2).
+p(f(1), 3).
+p(f(2), 4).
+p([x], 5).
+p(_, 6).
+"""
+
+
+class TestSummariesFromRegisters:
+    def test_bound_args_summarised(self):
+        m = Machine()
+        cell, _ = m._build(m.reader.read_term("probe(foo, 42, 2.5, [a], "
+                                              "g(1), X)"), {})
+        a = cell[1]
+        for i in range(6):
+            m.x[i] = m.heap[a + 1 + i]
+        out = PreUnifier.summaries_from_registers(m, 6)
+        assert out[0] == ("atom", "foo")
+        assert out[1] == ("int", 42)
+        assert out[2] == ("real", 2.5)
+        assert out[3] == ("list",)
+        assert out[4] == ("struct", "g", 1)
+        assert 5 not in out  # unbound
+
+
+class TestFilteringSemantics:
+    """The filter must never reject a clause that would unify
+    (necessary-condition property, §4) and at depth=full must reject
+    exactly the non-unifiable ones."""
+
+    @pytest.mark.parametrize("depth", ["none", "shallow", "full"])
+    def test_all_depths_sound(self, depth):
+        s = make_session(depth=depth)
+        s.store_program(PROG)
+        assert [sol["N"] for sol in s.solve("p(a, N)")] == [1, 6]
+        assert [sol["N"] for sol in s.solve("p(f(1), N)")] == [3, 6]
+        assert [sol["N"] for sol in s.solve("p([x], N)")] == [5, 6]
+        assert [sol["N"] for sol in s.solve("p(zzz, N)")] == [6]
+        assert sorted(sol["N"] for sol in s.solve("p(_, N)")) == \
+            [1, 2, 3, 4, 5, 6]
+
+    def test_full_depth_rejects_nonmatching_nested(self):
+        s = make_session(depth="full")
+        s.store_program("q(f(g(1)), hit1). q(f(g(2)), hit2).")
+        s.solve_once("q(f(g(2)), _)")
+        # full pre-unification rejected the g(1) clause outright
+        assert s.preunifier.rejections >= 1
+
+    def test_shallow_depth_keeps_nested_mismatches(self):
+        deep = make_session(depth="full")
+        shallow = make_session(depth="shallow")
+        for s in (deep, shallow):
+            s.store_program("q(f(g(1)), hit1). q(f(g(2)), hit2).")
+            list(s.solve("q(f(g(2)), R)"))
+        # both answer correctly...
+        assert deep.preunifier.rejections > shallow.preunifier.rejections
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            PreUnifier("bogus")
+
+    def test_shallow_skip_does_not_read_stale_registers(self):
+        """Regression (found by hypothesis): in shallow mode a skipped
+        unify_variable must still *define* its register; otherwise a
+        later get_structure on it tests stale caller data and rejects a
+        matching clause."""
+        s = make_session(depth="shallow")
+        s.store_program("p(a, a, 0).\np(a, f(f(_)), 1).")
+        sol = s.solve_once("findall(I, p(a, _, I), L)")
+        from repro.lang.writer import term_to_text
+        assert term_to_text(sol["L"]) == "[0,1]"
+
+    def test_filter_leaves_no_residue(self):
+        """Pre-unification must not leak bindings or heap cells."""
+        s = make_session(depth="full")
+        s.store_program(PROG)
+        m = s.machine
+        list(s.solve("p(a, N)"))
+        heap_before = len(m.heap)
+        trail_before = len(m.trail)
+        list(s.solve("p(f(1), N)"))
+        assert len(m.heap) == heap_before
+        assert len(m.trail) == trail_before
+
+
+class TestLoader:
+    def test_cache_hit_on_repeat_pattern(self):
+        s = make_session()
+        s.store_program(PROG)
+        s.solve_once("p(a, _)")
+        loads_after_first = s.loader.loads
+        s.solve_once("p(a, _)")
+        assert s.loader.loads == loads_after_first
+        assert s.loader.cache_hits >= 1
+
+    def test_distinct_patterns_load_separately(self):
+        s = make_session()
+        s.store_program(PROG)
+        s.solve_once("p(a, _)")
+        s.solve_once("p(b, _)")
+        assert s.loader.loads >= 2
+
+    def test_cache_invalidated_by_assert(self):
+        s = make_session()
+        s.store_program("r(1).")
+        assert [sol["X"] for sol in s.solve("r(X)")] == [1]
+        s.assert_external("r(2)")
+        assert [sol["X"] for sol in s.solve("r(X)")] == [1, 2]
+
+    def test_resolutions_counted(self):
+        s = make_session()
+        s.store_program(PROG)
+        s.solve_once("p(a, _)")
+        assert s.loader.counters()["resolutions"] > 0
+
+    def test_loads_facts_with_indexed_code(self):
+        s = make_session()
+        s.store_relation("city", [("munich", 1), ("paris", 2),
+                                  ("rome", 3)])
+        assert s.solve_once("city(paris, N)")["N"] == 2
+        assert s.machine.cp_created <= 2  # barrier (+possible fact chain)
+
+    def test_unknown_procedure_still_raises(self):
+        s = make_session()
+        from repro.errors import ExistenceError
+        with pytest.raises(ExistenceError):
+            s.solve_once("never_stored(1)")
+
+    def test_none_for_unstored(self):
+        store = ExternalStore()
+        loader = DynamicLoader(store)
+        assert loader.procedure_code(Machine(), "missing", 2) is None
+
+
+class TestRecursionThroughEDB:
+    def test_recursive_rules_in_edb(self):
+        s = make_session()
+        s.store_relation("edge", [("a", "b"), ("b", "c"), ("c", "d")])
+        s.store_program("""
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        """)
+        reach = sorted(str(sol["Y"]) for sol in s.solve("path(a, Y)"))
+        assert reach == ["b", "c", "d"]
+
+    def test_mixed_internal_and_external(self):
+        s = make_session()
+        s.store_relation("base", [(1,), (2,), (3,)])
+        s.consult("doubled(X, Y) :- base(X), Y is 2 * X.")
+        assert sorted(sol["Y"] for sol in s.solve("doubled(_, Y)")) == \
+            [2, 4, 6]
+
+    def test_edb_rule_calling_internal(self):
+        s = make_session()
+        s.consult("local(10).")
+        s.store_program("uses_local(X) :- local(X).")
+        assert s.solve_once("uses_local(X)")["X"] == 10

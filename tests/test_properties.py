@@ -1,0 +1,152 @@
+"""Cross-layer property tests (hypothesis).
+
+These pin the system's load-bearing invariants:
+
+* pre-unification soundness — the filter never loses a clause the
+  emulator could use, at any depth (§4's "necessary but not sufficient");
+* codec totality — every compilable clause round-trips through the
+  relative-address encoding;
+* EDB-vs-main-memory equivalence — a program answers identically
+  whether compiled internally or stored in the EDB and dynamically
+  loaded.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.session import EduceStar
+from repro.lang.writer import format_clause, term_to_text
+from repro.terms import Atom, Struct, Var
+from repro.wam.machine import Machine
+
+# ------------------------------------------------------------ term makers
+
+_const_names = st.sampled_from(["a", "b", "c", "d", "e"])
+_functors = st.sampled_from(["f", "g", "h"])
+
+
+def head_args(depth=2):
+    """Head-argument terms: constants, ints, vars, nested structures."""
+    leaves = st.one_of(
+        _const_names.map(Atom),
+        st.integers(0, 9),
+        st.just(None),  # placeholder for a fresh Var (built later)
+    )
+    return st.recursive(
+        leaves,
+        lambda children: st.builds(
+            lambda n, args: ("struct", n, tuple(args)),
+            _functors,
+            st.lists(children, min_size=1, max_size=2),
+        ),
+        max_leaves=4,
+    )
+
+
+def _reify(spec):
+    if spec is None:
+        return Var()
+    if isinstance(spec, tuple) and spec[0] == "struct":
+        return Struct(spec[1], tuple(_reify(a) for a in spec[2]))
+    return spec
+
+
+def _probe_goal(probe):
+    """findall(I, p(A, B, I), L) as a term with named query vars."""
+    ivar, lvar = Var("I"), Var("Found")
+    call = Struct("p", (_reify(probe[0]), _reify(probe[1]), ivar))
+    return Struct("findall", (ivar, call, lvar))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    heads=st.lists(st.tuples(head_args(), head_args()),
+                   min_size=1, max_size=8),
+    probe=st.tuples(head_args(), head_args()),
+)
+def test_preunification_soundness(heads, probe):
+    """At every depth, querying the EDB-stored facts returns exactly
+    what the in-memory compiled program returns (same clause ids, same
+    order)."""
+    clauses = [
+        Struct("p", (_reify(a), _reify(b), i))
+        for i, (a, b) in enumerate(heads)
+    ]
+    program = "\n".join(format_clause(c) for c in clauses)
+
+    reference = Machine()
+    reference.consult(program)
+    want = term_to_text(reference.solve_once(_probe_goal(probe))["Found"])
+
+    for depth in ("none", "shallow", "full"):
+        session = EduceStar(preunify_depth=depth)
+        session.store_program(program)
+        got = term_to_text(
+            session.solve_once(_probe_goal(probe))["Found"])
+        assert got == want, f"depth={depth}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    heads=st.lists(st.tuples(head_args(), head_args()),
+                   min_size=1, max_size=6),
+)
+def test_codec_roundtrip_random_clauses(heads):
+    from repro.dictionary import SegmentedDictionary
+    from repro.edb.codec import decode_code, encode_code
+    from repro.edb.external_dict import ExternalDictionary
+    from repro.bang.catalog import Catalog
+    from repro.bang.pager import Pager
+    from repro.wam.compiler import ClauseCompiler, CompileContext
+
+    ctx = CompileContext(SegmentedDictionary(segment_capacity=512))
+    compiler = ClauseCompiler(ctx)
+    ext = ExternalDictionary(Catalog(Pager(buffer_pages=8)))
+    for i, (a, b) in enumerate(heads):
+        clause = Struct("q", (_reify(a), _reify(b), i))
+        code = compiler.compile_clause(clause).code
+        relative = encode_code(code, ctx.dictionary, ext)
+        assert decode_code(relative, ctx.dictionary, ext) == code
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    facts=st.lists(st.tuples(st.integers(0, 5), _const_names),
+                   min_size=1, max_size=10),
+    pivot=st.integers(0, 5),
+)
+def test_edb_equals_main_memory(facts, pivot):
+    """Same program: EDB-stored vs consulted — identical answers."""
+    program = "".join(
+        f"r({n}, {s}).\n" for n, s in dict.fromkeys(facts))
+    program += "pick(S) :- r(%d, S).\n" % pivot
+
+    internal = Machine()
+    internal.consult(program)
+    want = sorted(str(s["S"]) for s in internal.solve("pick(S)"))
+
+    session = EduceStar()
+    session.store_program(program)
+    got = sorted(str(s["S"]) for s in session.solve("pick(S)"))
+    assert got == want
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.lists(
+    st.tuples(st.integers(0, 30), st.sampled_from(["x", "y", "z"])),
+    min_size=1, max_size=25))
+def test_relops_match_python_semantics(rows):
+    """db_select/db_project/db_count agree with plain Python."""
+    session = EduceStar()
+    rows = list(dict.fromkeys(rows))
+    session.store_relation("t", rows)
+
+    assert session.solve_once("db_count(t/2, N)")["N"] == len(rows)
+
+    session.solve_once("db_select(t/2, t(_, x), only_x)")
+    want = len([r for r in rows if r[1] == "x"])
+    assert session.solve_once("db_count(only_x/2, N)")["N"] == want
+
+    session.solve_once("db_project(t/2, [2], tags)")
+    want = len({r[1] for r in rows})
+    assert session.solve_once("db_count(tags/1, N)")["N"] == want

@@ -1,0 +1,183 @@
+"""Unit tests for the operator-precedence reader."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import SyntaxError_
+from repro.lang.operators import OperatorTable, default_operators
+from repro.lang.reader import Reader, read_term, read_terms
+from repro.lang.writer import term_to_text
+from repro.terms import NIL, Atom, Struct, Var, list_to_python
+
+from .conftest import ground_terms
+
+
+def s(term):
+    return term_to_text(term)
+
+
+class TestPrimary:
+    def test_atom(self):
+        assert read_term("foo") is Atom("foo")
+
+    def test_numbers(self):
+        assert read_term("42") == 42
+        assert read_term("3.5") == 3.5
+
+    def test_negative_literal(self):
+        assert read_term("-7") == -7
+        assert read_term("-2.5") == -2.5
+
+    def test_minus_with_space_is_operator(self):
+        t = read_term("- 7")
+        assert isinstance(t, Struct) and t.indicator == ("-", 1)
+
+    def test_variable_scoping_within_clause(self):
+        t = read_term("f(X, X, Y)")
+        assert t.args[0] is t.args[1]
+        assert t.args[0] is not t.args[2]
+
+    def test_underscore_always_fresh(self):
+        t = read_term("f(_, _)")
+        assert t.args[0] is not t.args[1]
+
+    def test_parenthesised(self):
+        assert s(read_term("(1 + 2) * 3")) == "(1+2)*3"
+
+    def test_curly(self):
+        t = read_term("{a, b}")
+        assert t.indicator == ("{}", 1)
+        assert read_term("{}") is Atom("{}")
+
+    def test_string_becomes_code_list(self):
+        assert list_to_python(read_term('"ab"')) == [97, 98]
+
+
+class TestCompound:
+    def test_canonical(self):
+        t = read_term("point(1, 2)")
+        assert t == Struct("point", (1, 2))
+
+    def test_nested(self):
+        t = read_term("f(g(h(x)))")
+        assert t.args[0].args[0].indicator == ("h", 1)
+
+    def test_quoted_functor(self):
+        t = read_term("'my func'(1)")
+        assert t.name == "my func"
+
+    def test_operator_as_functor(self):
+        t = read_term("+(1, 2)")
+        assert t == Struct("+", (1, 2))
+
+
+class TestLists:
+    def test_simple(self):
+        assert list_to_python(read_term("[1,2,3]")) == [1, 2, 3]
+
+    def test_empty(self):
+        assert read_term("[]") is NIL
+
+    def test_tail(self):
+        t = read_term("[a|T]")
+        assert isinstance(t.args[1], Var)
+
+    def test_nested_sugar(self):
+        assert s(read_term("[a|[b|[]]]")) == "[a,b]"
+
+    def test_args_stop_at_comma_priority(self):
+        t = read_term("[a , b]")
+        assert len(list_to_python(t)) == 2
+
+
+class TestOperators:
+    def test_precedence_arith(self):
+        assert s(read_term("1 + 2 * 3")) == "1+2*3"
+        t = read_term("1 + 2 * 3")
+        assert t.name == "+"
+
+    def test_left_assoc(self):
+        t = read_term("1 - 2 - 3")
+        assert t.args[0].indicator == ("-", 2)  # (1-2)-3
+
+    def test_right_assoc(self):
+        t = read_term("a , b , c")
+        assert t.args[1].indicator == (",", 2)  # a,(b,c)
+
+    def test_xfx_not_chainable(self):
+        with pytest.raises(SyntaxError_):
+            read_term("a = b = c")
+
+    def test_clause_structure(self):
+        t = read_term("h :- b1, b2.")
+        assert t.indicator == (":-", 2)
+        assert t.args[1].indicator == (",", 2)
+
+    def test_if_then_else_grouping(self):
+        t = read_term("(c -> t ; e)")
+        assert t.indicator == (";", 2)
+        assert t.args[0].indicator == ("->", 2)
+
+    def test_prefix_negation(self):
+        t = read_term("\\+ foo")
+        assert t.indicator == ("\\+", 1)
+
+    def test_custom_operator(self):
+        reader = Reader()
+        reader.operators.add(700, "xfx", "===")
+        t = reader.read_term("a === b")
+        assert t.indicator == ("===", 2)
+
+    def test_operator_removal(self):
+        table = default_operators()
+        table.add(0, "xfx", "is")
+        assert table.infix("is") is None
+
+    def test_invalid_operator_spec(self):
+        from repro.errors import TypeError_
+        with pytest.raises(TypeError_):
+            default_operators().add(700, "xfz", "bad")
+
+
+class TestPrograms:
+    def test_multiple_clauses(self):
+        clauses = read_terms("a. b(1). c :- a, b(X).")
+        assert len(clauses) == 3
+
+    def test_var_scoping_per_clause(self):
+        c1, c2 = read_terms("f(X). g(X).")
+        assert c1.args[0] is not c2.args[0]
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(SyntaxError_):
+            read_terms("a b")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SyntaxError_):
+            read_term("foo bar")
+
+
+class TestRoundTrip:
+    CASES = [
+        "p(X,Y):-q(X),r(Y,f(g(X)))",
+        "_G1 is 1+2*3- -4",
+        "a=b ; c->d,e",
+        "\\+member(X,[a,b])",
+        "[a,b|T]",
+        "f(-1,a-b)",
+        "{x,y}",
+        "a:- (b->c ; d)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_fixed_cases(self, text):
+        t1 = read_term(text)
+        out = term_to_text(t1)
+        t2 = read_term(out)
+        assert term_to_text(t2) == out
+
+    @given(ground_terms())
+    def test_generated_ground_terms(self, term):
+        text = term_to_text(term)
+        again = read_term(text)
+        assert term_to_text(again) == text

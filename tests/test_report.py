@@ -1,0 +1,41 @@
+"""Smoke test for the paper-style report harness."""
+
+import importlib.util
+import os
+import sys
+
+
+def _load_report():
+    path = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "benchmarks", "report.py")
+    spec = importlib.util.spec_from_file_location("report", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_table3_prints_all_updates(capsys):
+    report = _load_report()
+    report.table3()
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    for update in ("1 ", "2 ", "3 ", "4 ", "5 "):
+        assert update.strip() in out
+    assert "724/380" in out  # paper numbers shown alongside
+
+
+def test_section54_reports_ratio(capsys):
+    report = _load_report()
+    report.section54(scale=0.05)
+    out = capsys.readouterr().out
+    assert "deterioration x1.333" in out
+
+
+def test_table2_row_structure(capsys):
+    report = _load_report()
+    report.table2(scale=0.05)
+    out = capsys.readouterr().out
+    for row in ("Preprocess", "CPU", "Buffer read/write",
+                "Total I/O", "Average time"):
+        assert row in out
+    assert "Table 2b" in out

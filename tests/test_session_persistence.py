@@ -1,0 +1,74 @@
+"""Tests for the session-level persistence API and the listing/consult
+conveniences."""
+
+import pytest
+
+from repro.engine.session import EduceStar
+
+
+class TestSessionSaveOpen:
+    def test_save_open_roundtrip(self, tmp_path):
+        path = str(tmp_path / "session.edb")
+        a = EduceStar()
+        a.store_relation("fact", [(1,), (2,)])
+        a.store_program("doubled(Y) :- fact(X), Y is 2 * X.")
+        a.save(path)
+
+        b = EduceStar.open(path)
+        assert sorted(s["Y"] for s in b.solve("doubled(Y)")) == [2, 4]
+
+    def test_open_kwargs_forwarded(self, tmp_path):
+        path = str(tmp_path / "session.edb")
+        EduceStar().save(path)
+        b = EduceStar.open(path, index=False, preunify_depth="none")
+        assert b.machine.index_enabled is False
+        assert b.preunifier.depth == "none"
+
+    def test_saved_session_keeps_type_independence(self, tmp_path):
+        # type declarations are per-session (machine-level), not stored;
+        # the EDB data itself reopens fine
+        path = str(tmp_path / "typed.edb")
+        a = EduceStar()
+        a.consult(":- pred t(int).")
+        a.store_relation("t", [(1,)])
+        a.save(path)
+        b = EduceStar.open(path)
+        assert b.solve_once("t(1)") is not None
+
+
+class TestListing:
+    def test_listing_dynamic_clauses(self, machine):
+        machine.solve_once("assertz(p(1)), assertz((q(X) :- p(X)))")
+        machine.output.clear()
+        assert machine.solve_once("listing(p/1)") is not None
+        text = "".join(machine.output)
+        assert "p(1)." in text
+
+    def test_listing_by_bare_name_covers_all_arities(self, machine):
+        machine.solve_once("assertz(r(1)), assertz(r(1, 2))")
+        machine.output.clear()
+        machine.solve_once("listing(r)")
+        text = "".join(machine.output)
+        assert "r(1)." in text and "r(1,2)." in text
+
+    def test_listing_static_shows_disassembly(self, machine):
+        machine.consult("s(a).")
+        machine.output.clear()
+        machine.solve_once("listing(s/1)")
+        text = "".join(machine.output)
+        assert "s(a)." in text  # static procs keep their clauses too
+
+    def test_listing_unknown_fails(self, machine):
+        assert machine.solve_once("listing(zzz/9)") is None
+
+
+class TestConsultFile:
+    def test_consult_file(self, machine, tmp_path):
+        src = tmp_path / "prog.pl"
+        src.write_text("fact_from_file(ok).\n", encoding="utf-8")
+        machine.consult_file(str(src))
+        assert str(machine.solve_once("fact_from_file(X)")["X"]) == "ok"
+
+    def test_consult_missing_file_raises(self, machine):
+        with pytest.raises(OSError):
+            machine.consult_file("/nonexistent/path.pl")

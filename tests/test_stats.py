@@ -1,0 +1,95 @@
+"""Tests for counters and the 1990-hardware cost model."""
+
+import pytest
+
+from repro.engine.stats import (
+    SUN_3_60_MIPS,
+    SUN_3_280S_MIPS,
+    CostModel,
+    Measurement,
+    diff_counters,
+    measure,
+    merge_counters,
+)
+
+
+class TestCostModel:
+    def test_cpu_scales_inversely_with_mips(self):
+        counters = {"instr_count": 1_000_000}
+        fast = CostModel(mips=4.0).cpu_ms(counters)
+        slow = CostModel(mips=3.0).cpu_ms(counters)
+        assert abs(slow / fast - 4.0 / 3.0) < 1e-9
+
+    def test_io_independent_of_mips(self):
+        counters = {"reads": 10, "bytes_read": 40960}
+        assert CostModel(mips=4.0).io_ms(counters) == \
+            CostModel(mips=1.0).io_ms(counters)
+
+    def test_total_is_sum(self):
+        m = CostModel()
+        counters = {"instr_count": 1000, "reads": 2}
+        assert m.total_ms(counters) == \
+            m.cpu_ms(counters) + m.io_ms(counters)
+
+    def test_at_mips_clone(self):
+        base = CostModel(mips=SUN_3_280S_MIPS)
+        client = base.at_mips(SUN_3_60_MIPS)
+        assert client.mips == 3.0
+        assert base.mips == 4.0
+        assert client.disc_access_ms == base.disc_access_ms
+
+    def test_every_counter_kind_priced(self):
+        m = CostModel()
+        for key in ("instr_count", "data_refs", "parsed_chars",
+                    "compile_count", "resolutions", "tuple_ops",
+                    "inferences"):
+            assert m.cpu_ms({key: 1000}) > 0
+
+    def test_zero_counters_cost_zero(self):
+        assert CostModel().total_ms({}) == 0.0
+
+
+class TestMeasurement:
+    def test_simulated_ms_default_model(self):
+        meas = Measurement(counters={"instr_count": 4000})
+        assert meas.simulated_ms() > 0
+
+    def test_getitem_default_zero(self):
+        assert Measurement()["anything"] == 0
+
+
+class TestCounterHelpers:
+    def test_merge(self):
+        assert merge_counters({"a": 1}, {"a": 2, "b": 3}) == \
+            {"a": 3, "b": 3}
+
+    def test_merge_ignores_non_numeric(self):
+        assert merge_counters({"a": 1, "s": "str"}) == {"a": 1}
+
+    def test_diff(self):
+        assert diff_counters({"a": 5, "b": 1}, {"a": 2}) == \
+            {"a": 3, "b": 1}
+
+
+class TestMeasureContext:
+    class FakeSource:
+        def __init__(self):
+            self.n = 0
+
+        def counters(self):
+            return {"n": self.n}
+
+    def test_captures_delta(self):
+        src = self.FakeSource()
+        src.n = 10
+        with measure(src) as m:
+            src.n = 25
+        assert m.counters == {"n": 15}
+        assert m.wall_s >= 0
+
+    def test_multiple_sources_merged(self):
+        a, b = self.FakeSource(), self.FakeSource()
+        with measure(a, b) as m:
+            a.n = 1
+            b.n = 2
+        assert m.counters == {"n": 3}

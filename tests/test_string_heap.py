@@ -1,0 +1,94 @@
+"""Unit tests for the string heap (paper §3.3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dictionary import StringHeap
+from repro.errors import ResourceError
+
+
+class TestStoreFetch:
+    def test_roundtrip(self):
+        heap = StringHeap()
+        off = heap.store("hello")
+        assert heap.fetch(off) == "hello"
+
+    def test_unicode(self):
+        heap = StringHeap()
+        off = heap.store("münchen_öäü")
+        assert heap.fetch(off) == "münchen_öäü"
+
+    def test_empty_string(self):
+        heap = StringHeap()
+        assert heap.fetch(heap.store("")) == ""
+
+    def test_distinct_offsets(self):
+        heap = StringHeap()
+        offs = [heap.store(f"s{i}") for i in range(100)]
+        assert len(set(offs)) == 100
+
+    def test_fetch_dead_offset_raises(self):
+        heap = StringHeap()
+        with pytest.raises(ResourceError):
+            heap.fetch(12345)
+
+
+class TestFreeList:
+    def test_free_then_reuse_same_size_class(self):
+        heap = StringHeap()
+        off = heap.store("abcdefgh")
+        heap.free(off)
+        again = heap.store("12345678")
+        assert again == off  # recycled block
+        assert heap.bytes_recycled > 0
+
+    def test_double_free_raises(self):
+        heap = StringHeap()
+        off = heap.store("x")
+        heap.free(off)
+        with pytest.raises(ResourceError):
+            heap.free(off)
+
+    def test_high_water_stops_growing_with_recycling(self):
+        heap = StringHeap()
+        for _ in range(50):
+            off = heap.store("const_size!")
+            heap.free(off)
+        first_hw = heap.high_water
+        for _ in range(50):
+            off = heap.store("const_size!")
+            heap.free(off)
+        assert heap.high_water == first_hw
+
+    def test_live_and_free_counts(self):
+        heap = StringHeap()
+        offs = [heap.store(f"n{i}") for i in range(10)]
+        for off in offs[:4]:
+            heap.free(off)
+        assert heap.live_blocks == 6
+        assert heap.free_blocks == 4
+
+
+class TestGrowth:
+    def test_arena_grows_transparently(self):
+        heap = StringHeap(initial_capacity=64)
+        offs = [heap.store("block-%04d" % i) for i in range(100)]
+        for i, off in enumerate(offs):
+            assert heap.fetch(off) == "block-%04d" % i
+
+    def test_stats_keys(self):
+        heap = StringHeap()
+        heap.store("x")
+        stats = heap.stats()
+        for key in ("allocations", "frees", "bytes_allocated",
+                    "bytes_recycled", "live_blocks", "free_blocks",
+                    "high_water"):
+            assert key in stats
+
+
+@given(st.lists(st.text(max_size=40), min_size=1, max_size=60))
+def test_property_store_fetch_many(texts):
+    heap = StringHeap(initial_capacity=128)
+    offsets = [heap.store(t) for t in texts]
+    for text, off in zip(texts, offsets):
+        assert heap.fetch(off) == text

@@ -1,0 +1,149 @@
+"""Unit tests for the Prolog tokenizer."""
+
+import pytest
+
+from repro.errors import SyntaxError_
+from repro.lang.tokenizer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "end"]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "end"
+
+    def test_atom_and_var(self):
+        assert kinds("foo Bar _baz") == [
+            ("atom", "foo"), ("var", "Bar"), ("var", "_baz")]
+
+    def test_integers(self):
+        assert kinds("0 42 123456") == [
+            ("int", 0), ("int", 42), ("int", 123456)]
+
+    def test_floats(self):
+        assert kinds("3.14 2.0e3 1.5e-2") == [
+            ("float", 3.14), ("float", 2000.0), ("float", 0.015)]
+
+    def test_integer_then_end_of_clause(self):
+        out = kinds("42.")
+        assert out == [("int", 42), ("punct", "end_of_clause")]
+
+    def test_float_requires_digit_after_dot(self):
+        # "1.foo" is int 1, end-of-clause is not triggered ('.' + letter)
+        out = kinds("1. ")
+        assert out[0] == ("int", 1)
+
+    def test_exponent_without_digits_backtracks(self):
+        # "2e" is int 2 followed by atom e
+        assert kinds("2e x") == [("int", 2), ("atom", "e"), ("atom", "x")]
+
+
+class TestRadixAndCharCodes:
+    def test_hex(self):
+        assert kinds("0x1F") == [("int", 31)]
+
+    def test_octal(self):
+        assert kinds("0o17") == [("int", 15)]
+
+    def test_binary(self):
+        assert kinds("0b101") == [("int", 5)]
+
+    def test_char_code(self):
+        assert kinds("0'a") == [("int", ord("a"))]
+
+    def test_char_code_escape(self):
+        assert kinds(r"0'\n") == [("int", ord("\n"))]
+
+    def test_empty_radix_raises(self):
+        with pytest.raises(SyntaxError_):
+            tokenize("0xZ")
+
+
+class TestQuotedTokens:
+    def test_quoted_atom(self):
+        assert kinds("'hello world'") == [("atom", "hello world")]
+
+    def test_doubled_quote(self):
+        assert kinds("'it''s'") == [("atom", "it's")]
+
+    def test_escapes(self):
+        assert kinds(r"'a\nb\tc'") == [("atom", "a\nb\tc")]
+
+    def test_hex_escape(self):
+        assert kinds(r"'\x41\'") == [("atom", "A")]
+
+    def test_string_token(self):
+        assert kinds('"abc"') == [("string", "abc")]
+
+    def test_unterminated_raises(self):
+        with pytest.raises(SyntaxError_):
+            tokenize("'oops")
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(SyntaxError_):
+            tokenize(r"'\q'")
+
+
+class TestSymbolicAndPunct:
+    def test_symbol_runs_greedy(self):
+        assert kinds("a :- b") == [
+            ("atom", "a"), ("atom", ":-"), ("atom", "b")]
+
+    def test_double_minus_is_one_atom(self):
+        assert kinds("3--4")[1] == ("atom", "--")
+
+    def test_punct(self):
+        out = kinds("( ) [ ] { }")
+        assert [k for k, _ in out] == ["punct"] * 6
+
+    def test_comma_and_bar_are_atoms(self):
+        assert kinds("a,b") == [("atom", "a"), ("atom", ","), ("atom", "b")]
+        assert ("atom", "|") in kinds("[a|T]")
+
+    def test_cut_and_semicolon(self):
+        assert kinds("! ;") == [("atom", "!"), ("atom", ";")]
+
+
+class TestLayoutAndComments:
+    def test_line_comment(self):
+        assert kinds("a % comment\n b") == [("atom", "a"), ("atom", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("atom", "a"), ("atom", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SyntaxError_):
+            tokenize("a /* never ends")
+
+    def test_positions_tracked(self):
+        toks = tokenize("foo\n  bar")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_layout_before_flag(self):
+        toks = tokenize("a -1 x-1")
+        # '-1' after layout is still a negative literal candidate; the
+        # tokenizer records whether layout preceded each token.
+        assert toks[1].layout_before  # '-' after space
+
+    def test_functor_flag(self):
+        toks = tokenize("foo(x) bar (y)")
+        assert toks[0].functor          # foo immediately before (
+        assert not toks[3].functor      # bar followed by space
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(SyntaxError_):
+            tokenize("\x00")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("abc\n  '")
+        except SyntaxError_ as e:
+            assert e.line == 2
+        else:
+            pytest.fail("expected SyntaxError_")

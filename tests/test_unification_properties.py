@@ -1,0 +1,109 @@
+"""Property tests on the WAM unifier and heap conversion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.writer import term_to_text
+from repro.terms import Atom, Struct, Var, terms_equal
+from repro.wam.machine import Machine
+
+from .conftest import ground_terms
+
+
+def _unifies(machine, a, b) -> bool:
+    ca, _ = machine._build(a, {})
+    cb, _ = machine._build(b, {})
+    mark = len(machine.trail)
+    heap_mark = len(machine.heap)
+    ok = machine.unify(ca, cb)
+    machine._unwind_trail(mark)
+    del machine.heap[heap_mark:]
+    return ok
+
+
+@pytest.fixture(scope="module")
+def m():
+    return Machine()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ground_terms())
+def test_ground_self_unification(t):
+    machine = Machine()
+    assert _unifies(machine, t, t)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ground_terms(), ground_terms())
+def test_ground_unification_is_equality(a, b):
+    machine = Machine()
+    assert _unifies(machine, a, b) == terms_equal(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ground_terms(), ground_terms())
+def test_unification_symmetric(a, b):
+    machine = Machine()
+    assert _unifies(machine, a, b) == _unifies(machine, b, a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ground_terms())
+def test_variable_unifies_with_anything(t):
+    machine = Machine()
+    assert _unifies(machine, Var(), t)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ground_terms())
+def test_build_extract_roundtrip(t):
+    machine = Machine()
+    cell, _ = machine._build(t, {})
+    assert terms_equal(machine.extract(cell), t)
+    del machine.heap[:]
+
+
+@settings(max_examples=40, deadline=None)
+@given(ground_terms())
+def test_heap_conversion_matches_writer(t):
+    """term -> heap -> term -> text equals term -> text."""
+    machine = Machine()
+    cell, _ = machine._build(t, {})
+    assert term_to_text(machine.extract(cell)) == term_to_text(t)
+    del machine.heap[:]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=ground_terms(),
+    bind_left=st.booleans(),
+)
+def test_var_binding_direction_irrelevant(shape, bind_left):
+    """X = t then reading X gives t, regardless of operand order."""
+    machine = Machine()
+    var_term = Var("X")
+    pair = (var_term, shape) if bind_left else (shape, var_term)
+    ca, addr_of = machine._build(pair[0], {})
+    cb, _ = machine._build(pair[1], addr_of)
+    assert machine.unify(ca, cb)
+    bound = machine.extract(ca if bind_left else cb)
+    assert terms_equal(bound, shape)
+    machine._unwind_trail(0)
+    del machine.heap[:]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(ground_terms(), min_size=1, max_size=5))
+def test_findall_returns_exactly_database(terms):
+    """findall over asserted facts returns them in assertion order."""
+    machine = Machine()
+    machine.solve_once("dynamic(stored/1)")
+    for t in terms:
+        cell, _ = machine._build(Struct("stored", (t,)), {})
+        proc = machine.procedure("stored", 1)
+        proc.clauses.append(machine.extract(cell))
+        proc.dirty = True
+    sol = machine.solve_once("findall(X, stored(X), L)")
+    got = term_to_text(sol["L"])
+    from repro.terms import make_list
+    assert got == term_to_text(make_list(terms))
