@@ -5,10 +5,13 @@ Runs every experiment and prints Tables 1, 2a, 2b and 3 (plus the §5.4
 diskless-workstation comparison) formatted like the originals, with the
 paper's numbers alongside where the text preserves them.
 
-    python benchmarks/report.py [--scale S]
+    python benchmarks/report.py [--scale S] [--jsonl PATH]
 
 Scale 1.0 (default) uses the paper's exact cardinalities; the full run
-takes a couple of minutes.
+takes a couple of minutes.  ``--jsonl PATH`` additionally runs a sample
+of MVV queries under per-query tracing and appends their observability
+profiles (span trees + counter deltas + simulated-ms breakdowns, one
+JSON object per line — see docs/OBSERVABILITY.md) to PATH.
 """
 
 import argparse
@@ -138,6 +141,31 @@ def table2(scale: float) -> None:
 
 
 # =====================================================================
+# Per-query observability profiles (--jsonl)
+# =====================================================================
+
+def profiles(scale: float, path: str) -> None:
+    """Trace a sample of MVV queries; append their profiles to *path*."""
+    from repro.obs import write_json_lines
+    from repro.workloads import mvv
+
+    print(f"\nPer-query profiles → {path}")
+    hr()
+    data = mvv.generate(seed=11, scale=scale)
+    star = mvv.load_educestar(data)
+    sample = mvv.class1_queries(data, 3) + mvv.class2_queries(data, 2)
+    collected = [star.profile(q) for q in sample]
+    lines = write_json_lines(path, collected)
+    for prof in collected:
+        sim = prof.breakdown()
+        spans = sum(1 for _ in prof.root.walk()) if prof.root else 0
+        print(f"  {prof.goal[:46]:<46} {sim['total_ms']:>9.2f} ms "
+              f"({spans} spans, {prof.solutions} solutions)")
+    print(f"({len(collected)} query profiles, {lines} JSON lines; "
+          "counter glossary in docs/OBSERVABILITY.md)")
+
+
+# =====================================================================
 # Table 3 — integrity checking
 # =====================================================================
 
@@ -205,7 +233,14 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale (1.0 = paper cardinalities)")
+    parser.add_argument("--jsonl", metavar="PATH", default=None,
+                        help="also write per-query observability "
+                             "profiles to PATH (JSON lines)")
     args = parser.parse_args()
+    if args.jsonl:
+        # Fail on an unwritable path now, not after the full run.
+        with open(args.jsonl, "a", encoding="utf-8"):
+            pass
 
     print("Reproduction of Bocca, 'Compilation of Logic Programs to "
           "Implement Very Large\nKnowledge Base Systems — A Case Study: "
@@ -214,6 +249,8 @@ def main() -> None:
     table2(args.scale)
     table3()
     section54(args.scale)
+    if args.jsonl:
+        profiles(args.scale, args.jsonl)
     print("\nSee EXPERIMENTS.md for the paper-vs-measured analysis.")
 
 

@@ -8,16 +8,22 @@ A minimal shell over an :class:`~repro.EduceStar` session:
 * ``[consult 'file.pl'].`` style loading via the commands below
 * shell commands (no terminating dot):
 
-  =============  ==============================================
-  ``:load F``    consult a Prolog file into main memory
-  ``:store F``   compile a Prolog file into the EDB
-  ``:save F``    persist the EDB
-  ``:open F``    reopen a saved EDB in a fresh session
-  ``:listing P`` show clauses / disassembly for predicate P
-  ``:stats``     machine + loader + I/O counters
-  ``:help``      this text
-  ``:quit``      leave
-  =============  ==============================================
+  ==============  ==============================================
+  ``:load F``     consult a Prolog file into main memory
+  ``:store F``    compile a Prolog file into the EDB
+  ``:save F``     persist the EDB
+  ``:open F``     reopen a saved EDB in a fresh session
+  ``:listing P``  show clauses / disassembly for predicate P
+  ``:trace``      toggle per-query tracing (``:trace on|off``);
+                  when on, each query prints its profile: span
+                  tree, counter deltas, simulated-1990-ms breakdown
+  ``:stats``      session counters by component + simulated-ms
+                  breakdown + the last traced query's profile
+  ``:export F``   append the last traced query's profile to F
+                  as JSON lines (see docs/OBSERVABILITY.md)
+  ``:help``       this text
+  ``:quit``       leave
+  ==============  ==============================================
 
 Run:  python examples/repl.py            (interactive)
       echo "X is 6*7." | python examples/repl.py   (piped)
@@ -28,10 +34,27 @@ import sys
 from repro import EduceStar, term_to_text
 from repro.errors import ReproError
 
+# Counter groups for :stats (full glossary: docs/OBSERVABILITY.md).
+_STATS_GROUPS = (
+    ("machine", ("instr_count", "data_refs", "cp_refs", "cp_created",
+                 "backtracks", "calls", "unify_ops", "compile_count",
+                 "heap_high_water", "gc_runs", "gc_cells_recovered")),
+    ("loader", ("loads", "cache_hits", "clauses_fetched",
+                "clauses_delivered", "resolutions",
+                "preunify_executions", "preunify_rejections")),
+    ("parser", ("parsed_chars",)),
+    ("storage", ("reads", "writes", "bytes_read", "bytes_written",
+                 "pages", "buffer_hits", "buffer_misses",
+                 "buffer_evictions", "buffer_writebacks",
+                 "buffer_resident")),
+)
+
+TRACE = {"on": False}
+
 
 def show_solutions(session, goal_text: str, interactive: bool) -> None:
     try:
-        solutions = session.solve(goal_text)
+        solutions = session.solve(goal_text, profile=TRACE["on"])
         found = False
         for solution in solutions:
             found = True
@@ -51,8 +74,41 @@ def show_solutions(session, goal_text: str, interactive: bool) -> None:
                 break
         if not found:
             print("false.")
+        if TRACE["on"]:
+            solutions.close()   # finalise the profile
+            if session.last_profile is not None:
+                print(session.last_profile.format())
     except ReproError as exc:
         print(f"error: {exc}")
+
+
+def show_stats(session) -> None:
+    snapshot = session.metrics.snapshot()
+    shown = set()
+    for group, keys in _STATS_GROUPS:
+        lines = [f"    {key}: {snapshot[key]:g}"
+                 for key in keys if key in snapshot]
+        shown.update(keys)
+        if lines:
+            print(f"  {group}:")
+            print("\n".join(lines))
+    extra = [k for k in sorted(snapshot) if k not in shown]
+    if extra:
+        print("  other:")
+        for key in extra:
+            print(f"    {key}: {snapshot[key]:g}")
+    sim = session.cost_model.breakdown(snapshot)
+    print(f"  simulated 1990 ms (whole session): "
+          f"{sim['total_ms']:.2f} "
+          f"(cpu {sim['cpu_ms']:.2f} + io {sim['io_ms']:.2f})")
+    terms = {**sim["cpu"], **sim["io"]}
+    body = "  ".join(f"{k}={v:.2f}" for k, v in terms.items() if v)
+    if body:
+        print(f"    by term: {body}")
+    if session.last_profile is not None:
+        print("  last traced query:")
+        for line in session.last_profile.format().splitlines():
+            print("    " + line)
 
 
 def command(session, line: str, interactive: bool):
@@ -83,10 +139,20 @@ def command(session, line: str, interactive: bool):
         else:
             print(f"no such predicate: {arg}")
     elif cmd == ":stats":
-        for key, value in session.counters().items():
-            print(f"  {key}: {value}")
-        for key, value in session.io_counters().items():
-            print(f"  {key}: {value}")
+        show_stats(session)
+    elif cmd == ":trace":
+        if arg not in ("", "on", "off"):
+            print("usage: :trace [on|off]")
+        else:
+            TRACE["on"] = (arg == "on") if arg else not TRACE["on"]
+            print(f"tracing {'on' if TRACE['on'] else 'off'}")
+    elif cmd == ":export" and arg:
+        if session.last_profile is None:
+            print("no traced query yet (:trace, then run a query)")
+        else:
+            from repro.obs import write_json_lines
+            n = write_json_lines(arg, [session.last_profile])
+            print(f"appended {n} JSON lines to {arg}")
     else:
         print(f"unknown command {line!r}; :help for help")
     return session
@@ -108,7 +174,11 @@ def main() -> None:
         if not line:
             continue
         if not buffer and line.startswith(":") and not line.startswith(":-"):
-            session = command(session, line, interactive)
+            try:
+                session = command(session, line, interactive)
+            except (ReproError, OSError) as exc:
+                print(f"error: {exc}")
+                continue
             if session is None:
                 break
             continue

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any
 
+from ..obs.tracing import NULL_TRACER
 from .pager import DiskStore
 
 
@@ -23,6 +24,7 @@ class BufferPool:
             raise ValueError("buffer pool needs at least one frame")
         self.disk = disk
         self.capacity = capacity
+        self.tracer = NULL_TRACER  # threaded in via Pager.tracer
         self._frames: "OrderedDict[int, Any]" = OrderedDict()
         self._dirty: set = set()
         self.hits = 0
@@ -69,12 +71,25 @@ class BufferPool:
         self._frames.pop(page_id, None)
         self._dirty.discard(page_id)
 
+    # Like DiskStore, never persist the live session's tracer.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["tracer"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.tracer = NULL_TRACER
+
     # ------------------------------------------------------------ internals
 
     def _admit(self, page_id: int, payload: Any) -> None:
         while len(self._frames) >= self.capacity:
             victim, victim_payload = self._frames.popitem(last=False)
             self.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.event("page.evict", page=victim,
+                                  dirty=victim in self._dirty)
             if victim in self._dirty:
                 self.disk.write(victim, victim_payload)
                 self.writebacks += 1

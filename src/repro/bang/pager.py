@@ -19,6 +19,7 @@ import pickle
 from typing import Any, Dict, Optional
 
 from ..errors import PageError
+from ..obs.tracing import NULL_TRACER
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -34,6 +35,9 @@ class DiskStore:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        # Page transfers are recorded as *events* on the enclosing span
+        # (span-per-page would be far too fine-grained; see repro.obs).
+        self.tracer = NULL_TRACER
 
     def allocate(self) -> int:
         """Reserve a fresh page id (no I/O)."""
@@ -42,12 +46,27 @@ class DiskStore:
         self._pages[pid] = b""
         return pid
 
+    # The tracer belongs to the live session, not the persisted EDB
+    # (it can reference the whole session object graph via its
+    # snapshot callback).
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["tracer"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.tracer = NULL_TRACER
+
     def read(self, page_id: int) -> Any:
         image = self._pages.get(page_id)
         if image is None:
             raise PageError(f"page {page_id} does not exist")
         self.reads += 1
         self.bytes_read += self.page_size
+        if self.tracer.enabled:
+            self.tracer.event("page.read", page=page_id,
+                              bytes=self.page_size)
         if not image:
             return None
         return pickle.loads(image)
@@ -57,6 +76,9 @@ class DiskStore:
             raise PageError(f"page {page_id} does not exist")
         self.writes += 1
         self.bytes_written += self.page_size
+        if self.tracer.enabled:
+            self.tracer.event("page.write", page=page_id,
+                              bytes=self.page_size)
         self._pages[page_id] = pickle.dumps(payload, protocol=4)
 
     def free(self, page_id: int) -> None:
@@ -122,3 +144,14 @@ class Pager:
     def reset_counters(self) -> None:
         self.disk.reset_counters()
         self.buffer.reset_counters()
+
+    @property
+    def tracer(self):
+        return self.disk.tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        """One assignment threads the shared tracer through the whole
+        storage stack (disc events + buffer eviction events)."""
+        self.disk.tracer = tracer
+        self.buffer.tracer = tracer

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.tracing import NULL_TRACER
 from ..wam import instructions as I
 from ..wam.compiler import CompiledClause
 from ..wam.indexing import build_procedure_code
@@ -49,6 +50,7 @@ class DynamicLoader:
         self.store = store
         self.preunifier = preunifier or PreUnifier("full")
         self.index = index
+        self.tracer = NULL_TRACER  # session installs its shared tracer
         self._cache: Dict[tuple, list] = {}
         self.loads = 0
         self.cache_hits = 0
@@ -71,13 +73,21 @@ class DynamicLoader:
         cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1
+            if self.tracer.enabled:
+                self.tracer.event("loader.cache_hit",
+                                  procedure=f"{name}/{arity}")
             return cached
 
         self.loads += 1
-        if proc.mode == "facts":
-            code = self._load_facts(machine, name, arity, summaries)
-        else:
-            code = self._load_rules(machine, name, arity, summaries)
+        with self.tracer.span("loader.fetch",
+                              procedure=f"{name}/{arity}",
+                              mode=proc.mode) as span:
+            if proc.mode == "facts":
+                code = self._load_facts(machine, name, arity, summaries)
+            else:
+                code = self._load_rules(machine, name, arity, summaries)
+            if span is not None:
+                span.attrs["bound_args"] = sorted(summaries)
         self._cache[key] = code
         return code
 
@@ -97,12 +107,18 @@ class DynamicLoader:
         if proc.mode == "source":
             return self._load_source(machine, clauses)
 
-        decoded = []
-        for sc in clauses:
-            self.resolutions += _count_refs(sc.relative_code)
-            decoded.append(decode_code(
-                sc.relative_code, machine.dictionary,
-                self.store.external_dict))
+        with self.tracer.span("codec.resolve",
+                              clauses=len(clauses)) as span:
+            decoded = []
+            resolved = 0
+            for sc in clauses:
+                resolved += _count_refs(sc.relative_code)
+                decoded.append(decode_code(
+                    sc.relative_code, machine.dictionary,
+                    self.store.external_dict))
+            self.resolutions += resolved
+            if span is not None:
+                span.attrs["resolutions"] = resolved
 
         survivors = self.preunifier.filter_by_execution(
             machine, clauses, decoded)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..obs.tracing import NULL_TRACER
 from ..wam import instructions as I
 from .store import StoredClause
 
@@ -56,6 +57,7 @@ class PreUnifier:
         self.depth = depth
         self.executions = 0
         self.rejections = 0
+        self.tracer = NULL_TRACER  # session installs its shared tracer
 
     # ------------------------------------------------------ summary builder
 
@@ -91,13 +93,17 @@ class PreUnifier:
         against the current argument registers (depth-dependent)."""
         if self.depth == "none":
             return list(range(len(clauses)))
-        survivors = []
-        for idx, code in enumerate(decoded):
-            self.executions += 1
-            if self._head_matches(machine, code):
-                survivors.append(idx)
-            else:
-                self.rejections += 1
+        with self.tracer.span("preunify.filter", depth=self.depth,
+                              candidates=len(clauses)) as span:
+            survivors = []
+            for idx, code in enumerate(decoded):
+                self.executions += 1
+                if self._head_matches(machine, code):
+                    survivors.append(idx)
+                else:
+                    self.rejections += 1
+            if span is not None:
+                span.attrs["survivors"] = len(survivors)
         return survivors
 
     def _head_matches(self, machine, code: List[tuple]) -> bool:

@@ -138,8 +138,9 @@ class RelationalOps:
     def db_select(self, m, args):
         relation = self._relation(m, args[0])
         assignment = self._pattern_assignment(m, args[1], relation.arity)
-        rows = execute(best_access_path(relation, assignment)) \
-            if not assignment else list(relation.query(assignment))
+        rows = (execute(best_access_path(relation, assignment),
+                        tracer=self.session.tracer)
+                if not assignment else list(relation.query(assignment)))
         self._materialise(_atom_name(m, args[2]), rows, relation.arity)
         return True
 
@@ -149,7 +150,8 @@ class RelationalOps:
         for c in cols:
             if not 0 <= c < relation.arity:
                 raise CatalogError(f"column {c + 1} out of range")
-        rows = execute(Distinct(Project(Scan(relation), cols)))
+        rows = execute(Distinct(Project(Scan(relation), cols)),
+                       tracer=self.session.tracer)
         self._materialise(_atom_name(m, args[2]), rows, len(cols))
         return True
 
@@ -163,7 +165,7 @@ class RelationalOps:
         outer = best_access_path(left, {})
         plan = plan_join(outer, estimate_rows(left, {}), right,
                          c1[1] - 1, c2[1] - 1)
-        rows = execute(plan)
+        rows = execute(plan, tracer=self.session.tracer)
         self._materialise(_atom_name(m, args[4]), rows,
                           left.arity + right.arity)
         return True

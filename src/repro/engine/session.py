@@ -21,6 +21,7 @@ Both evaluation strategies of §4 are available and freely mixable:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..bang.pager import Pager
@@ -28,6 +29,7 @@ from ..bang.relation import BangRelation
 from ..edb.loader import DynamicLoader
 from ..edb.preunify import PreUnifier
 from ..edb.store import ExternalStore
+from ..obs import MetricsRegistry, QueryProfile, Tracer
 from ..terms import Struct, Term
 from ..wam.compiler import split_clause
 from ..wam.machine import Machine, Procedure, Solution
@@ -57,6 +59,20 @@ class EduceStar:
         self.machine.unknown_handler = self._edb_trap
         self.cost_model = cost_model or CostModel()
         self.parsed_chars = 0
+
+        # Observability (repro.obs): one registry over every counter
+        # source, one tracer shared by every layer.  Tracing is off by
+        # default; :meth:`profile` / :meth:`solve`'s ``profile=True``
+        # enable it for the extent of one query.
+        self.metrics = MetricsRegistry()
+        self.metrics.attach(self)   # counters() + io_counters()
+        self.tracer = Tracer(snapshot=self.metrics.snapshot,
+                             diff=self.metrics.diff)
+        self.machine.tracer = self.tracer
+        self.loader.tracer = self.tracer
+        self.preunifier.tracer = self.tracer
+        self.store.pager.tracer = self.tracer
+        self.last_profile: Optional[QueryProfile] = None
 
         # The deterministic record-manager interface (§2.3, §3.2.1).
         from .cursors import CursorTable, install_cursor_builtins
@@ -138,10 +154,53 @@ class EduceStar:
 
     # ----------------------------------------------------------------- query
 
-    def solve(self, goal, limit: Optional[int] = None) -> Iterator[Solution]:
+    def solve(self, goal, limit: Optional[int] = None,
+              profile: bool = False) -> Iterator[Solution]:
+        """Solve *goal*; yield :class:`Solution` objects.
+
+        With ``profile=True``, tracing is enabled for this query and a
+        :class:`~repro.obs.profile.QueryProfile` (span tree + counter
+        deltas + simulated-ms breakdown) is stored in
+        :attr:`last_profile` once the solution iterator is exhausted or
+        closed.  Use :meth:`profile` to run to completion and get the
+        profile back directly.
+        """
         if isinstance(goal, str):
             self.parsed_chars += len(goal)
-        return self.machine.solve(goal, limit=limit)
+        if not profile:
+            return self.machine.solve(goal, limit=limit)
+        return self._solve_profiled(goal, limit)
+
+    def _solve_profiled(self, goal,
+                        limit: Optional[int]) -> Iterator[Solution]:
+        was_enabled = self.tracer.enabled
+        self.tracer.enabled = True
+        before = self.metrics.snapshot()
+        start = time.perf_counter()
+        solutions = 0
+        try:
+            for solution in self.machine.solve(goal, limit=limit):
+                solutions += 1
+                yield solution
+        finally:
+            wall_s = time.perf_counter() - start
+            counters = self.metrics.diff(self.metrics.snapshot(), before)
+            roots = self.tracer.take_roots()
+            self.tracer.enabled = was_enabled
+            self.last_profile = QueryProfile(
+                goal=goal if isinstance(goal, str) else str(goal),
+                counters=counters,
+                root=roots[-1] if roots else None,
+                solutions=solutions,
+                wall_s=wall_s,
+                cost_model=self.cost_model)
+
+    def profile(self, goal, limit: Optional[int] = None) -> QueryProfile:
+        """Run *goal* to completion under tracing; return its profile."""
+        for _ in self.solve(goal, limit=limit, profile=True):
+            pass
+        assert self.last_profile is not None
+        return self.last_profile
 
     def solve_once(self, goal) -> Optional[Solution]:
         if isinstance(goal, str):

@@ -17,6 +17,7 @@ same counters at 3 MIPS instead of 4.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -41,35 +42,70 @@ class CostModel:
     disc_access_ms: float = 28.0         # avg seek+rotate, 1990 Hitachi
     disc_transfer_ms_per_kb: float = 0.8
 
-    def cpu_ms(self, counters: Dict[str, int]) -> float:
-        native = (
-            counters.get("instr_count", 0) * self.native_per_wam_instr
-            + counters.get("data_refs", 0) * self.native_per_data_ref
-            + counters.get("parsed_chars", 0) * self.native_per_parsed_char
-            + counters.get("compile_count", 0)
-            * self.native_per_compiled_clause
-            + counters.get("resolutions", 0) * self.native_per_resolution
-            + counters.get("tuple_ops", 0) * self.native_per_tuple_op
-            + counters.get("inferences", 0) * self.native_per_inference
-            + counters.get("unifications", 0) * self.native_per_data_ref * 8
-        )
-        return native / (self.mips * 1000.0)
+    def cpu_breakdown(self, counters: Dict[str, int]) -> Dict[str, float]:
+        """CPU milliseconds per cost-model term.
 
-    def io_ms(self, counters: Dict[str, int]) -> float:
+        The term names are part of the observability contract: each one
+        is documented in docs/OBSERVABILITY.md next to the counter keys
+        it prices (enforced by tests/test_docs.py).
+        """
+        ms = 1.0 / (self.mips * 1000.0)
+        return {
+            "wam_instructions": counters.get("instr_count", 0)
+            * self.native_per_wam_instr * ms,
+            "data_references": counters.get("data_refs", 0)
+            * self.native_per_data_ref * ms,
+            "parsing": counters.get("parsed_chars", 0)
+            * self.native_per_parsed_char * ms,
+            "compilation": counters.get("compile_count", 0)
+            * self.native_per_compiled_clause * ms,
+            "resolution": counters.get("resolutions", 0)
+            * self.native_per_resolution * ms,
+            "tuple_ops": counters.get("tuple_ops", 0)
+            * self.native_per_tuple_op * ms,
+            "inference": counters.get("inferences", 0)
+            * self.native_per_inference * ms,
+            "unification": counters.get("unifications", 0)
+            * self.native_per_data_ref * 8 * ms,
+        }
+
+    def io_breakdown(self, counters: Dict[str, int]) -> Dict[str, float]:
+        """I/O milliseconds per cost-model term (access vs transfer)."""
         accesses = counters.get("reads", 0) + counters.get("writes", 0)
         kb = (counters.get("bytes_read", 0)
               + counters.get("bytes_written", 0)) / 1024.0
-        return accesses * self.disc_access_ms \
-            + kb * self.disc_transfer_ms_per_kb
+        return {
+            "disc_access": accesses * self.disc_access_ms,
+            "disc_transfer": kb * self.disc_transfer_ms_per_kb,
+        }
+
+    def cpu_ms(self, counters: Dict[str, int]) -> float:
+        return sum(self.cpu_breakdown(counters).values())
+
+    def io_ms(self, counters: Dict[str, int]) -> float:
+        return sum(self.io_breakdown(counters).values())
 
     def total_ms(self, counters: Dict[str, int]) -> float:
         return self.cpu_ms(counters) + self.io_ms(counters)
 
+    def breakdown(self, counters: Dict[str, int]) -> Dict[str, object]:
+        """Full simulated-ms breakdown for a counter delta."""
+        cpu = self.cpu_breakdown(counters)
+        io = self.io_breakdown(counters)
+        cpu_ms = sum(cpu.values())
+        io_ms = sum(io.values())
+        return {
+            "cpu_ms": cpu_ms,
+            "io_ms": io_ms,
+            "total_ms": cpu_ms + io_ms,
+            "cpu": cpu,
+            "io": io,
+            "mips": self.mips,
+        }
+
     def at_mips(self, mips: float) -> "CostModel":
         """Same model on a different CPU (the diskless-client experiment)."""
-        clone = CostModel(**self.__dict__)
-        clone.mips = mips
-        return clone
+        return dataclasses.replace(self, mips=mips)
 
 
 @dataclass
@@ -94,6 +130,12 @@ class Measurement:
 
 
 def merge_counters(*sources: Dict[str, int]) -> Dict[str, int]:
+    """Sum counter dicts key-wise; non-numeric values are skipped.
+
+    Works for float-valued counters too (fractional work units).  The
+    :class:`~repro.obs.registry.MetricsRegistry` snapshot API subsumes
+    this helper; it is kept for direct use by benchmarks and tests.
+    """
     out: Dict[str, int] = {}
     for source in sources:
         for key, value in source.items():
@@ -102,12 +144,29 @@ def merge_counters(*sources: Dict[str, int]) -> Dict[str, int]:
     return out
 
 
-def diff_counters(after: Dict[str, int], before: Dict[str, int]
-                  ) -> Dict[str, int]:
+def diff_counters(after: Dict[str, int], before: Dict[str, int],
+                  clamp_resets: bool = False) -> Dict[str, int]:
+    """Key-wise ``after - before``.
+
+    Edge cases (pinned by tests/test_stats.py):
+
+    * a key missing from *before* is treated as 0 there;
+    * a key that disappeared (present only in *before*) is omitted —
+      its source is gone, so no delta is attributable;
+    * a counter that *shrank* means it was reset between the snapshots.
+      By default the raw (negative) difference is returned, preserving
+      historical behaviour for gauges; with ``clamp_resets=True`` the
+      post-reset accumulation (the *after* value) is reported instead,
+      which is the right reading for monotonic counters.  The
+      gauge-aware variant lives on ``MetricsRegistry.diff``.
+    """
     out = {}
     for key, value in after.items():
         if isinstance(value, (int, float)):
-            out[key] = value - before.get(key, 0)
+            delta = value - before.get(key, 0)
+            if clamp_resets and delta < 0:
+                delta = value
+            out[key] = delta
     return out
 
 

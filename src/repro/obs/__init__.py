@@ -1,0 +1,39 @@
+"""repro.obs — the unified observability layer.
+
+Three pieces, designed to be threaded through every layer of Educe*:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — one namespace for every
+  work counter in the system; subsumes the ad-hoc
+  ``merge_counters``/``diff_counters`` glue with a snapshot/diff API
+  that understands counter resets and gauges.
+* :class:`~repro.obs.tracing.Tracer` / :class:`~repro.obs.tracing.Span`
+  — nested spans (query → loader fetch → pre-unify → codec resolve)
+  with per-span counter deltas and page-I/O events; zero cost when
+  disabled (:data:`~repro.obs.tracing.NULL_TRACER`).
+* :class:`~repro.obs.profile.QueryProfile` — per-query span tree +
+  counter delta + simulated-1990-ms breakdown, exportable as JSON lines.
+
+The counter glossary, span taxonomy and a worked profile-reading
+example live in ``docs/OBSERVABILITY.md``; ``tests/test_docs.py`` keeps
+that document in sync with the code.
+
+This package never imports ``repro.engine`` at module level (the
+session imports us), so any layer — ``wam``, ``bang``, ``edb``,
+``relational`` — may depend on it without cycles.
+"""
+
+from .registry import DEFAULT_GAUGE_KEYS, Histogram, MetricsRegistry
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer
+from .profile import QueryProfile, write_json_lines
+
+__all__ = [
+    "DEFAULT_GAUGE_KEYS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "QueryProfile",
+    "write_json_lines",
+]

@@ -1,0 +1,130 @@
+"""Per-query profiles: span tree + counter deltas + simulated-ms breakdown.
+
+A :class:`QueryProfile` is the unit of observability the acceptance
+criteria of the paper's evaluation need: for one ``solve()`` call it
+holds
+
+* the work-counter delta (WAM instructions, data references, clauses
+  fetched/delivered, page transfers, ...),
+* the span tree recorded by the tracer (query → loader fetch →
+  pre-unify → codec resolve, with page-I/O events),
+* the simulated-1990-milliseconds breakdown from the
+  :class:`~repro.engine.stats.CostModel` — the same constants that
+  price the benchmark tables, so a profile and a table row can never
+  disagree about what a counter costs.
+
+Profiles export as JSON lines (one header object, then one object per
+span) for offline analysis, and format as a human-readable block for
+the REPL's ``:stats``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from .tracing import Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.stats import CostModel
+
+
+def _default_model() -> "CostModel":
+    from ..engine.stats import CostModel
+    return CostModel()
+
+
+class QueryProfile:
+    """Everything observed about one query."""
+
+    def __init__(self, goal: str,
+                 counters: Dict[str, float],
+                 root: Optional[Span] = None,
+                 solutions: int = 0,
+                 wall_s: float = 0.0,
+                 cost_model: Optional["CostModel"] = None):
+        self.goal = goal
+        self.counters = dict(counters)
+        self.root = root
+        self.solutions = solutions
+        self.wall_s = wall_s
+        self.cost_model = cost_model or _default_model()
+
+    # ------------------------------------------------------------- pricing
+
+    def cpu_ms(self) -> float:
+        return self.cost_model.cpu_ms(self.counters)
+
+    def io_ms(self) -> float:
+        return self.cost_model.io_ms(self.counters)
+
+    def total_ms(self) -> float:
+        return self.cost_model.total_ms(self.counters)
+
+    def breakdown(self) -> Dict[str, Any]:
+        """Simulated-ms breakdown, per cost-model term (see the
+        "Cost-model terms" table in docs/OBSERVABILITY.md)."""
+        return self.cost_model.breakdown(self.counters)
+
+    # -------------------------------------------------------------- export
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The profile header (span tree exported separately)."""
+        return {
+            "kind": "query_profile",
+            "goal": self.goal,
+            "solutions": self.solutions,
+            "wall_s": round(self.wall_s, 6),
+            "counters": self.counters,
+            "simulated": self.breakdown(),
+            "spans": sum(1 for _ in self.root.walk()) if self.root else 0,
+        }
+
+    def to_json_lines(self) -> List[str]:
+        """One header line, then one line per span (pre-order)."""
+        lines = [json.dumps(self.to_dict(), sort_keys=True, default=str)]
+        if self.root is not None:
+            lines.extend(self.root.to_json_lines())
+        return lines
+
+    def format(self, top: int = 8) -> str:
+        """Human-readable block: headline, cost breakdown, span tree."""
+        sim = self.breakdown()
+        lines = [
+            f"goal: {self.goal}",
+            f"  solutions: {self.solutions}   wall: {self.wall_s:.4f} s   "
+            f"simulated 1990: {sim['total_ms']:.2f} ms "
+            f"(cpu {sim['cpu_ms']:.2f} + io {sim['io_ms']:.2f})",
+        ]
+        cpu_terms = [(k, v) for k, v in sim["cpu"].items() if v]
+        io_terms = [(k, v) for k, v in sim["io"].items() if v]
+        for label, terms in (("cpu", cpu_terms), ("io", io_terms)):
+            if terms:
+                body = "  ".join(f"{k}={v:.2f}" for k, v in terms)
+                lines.append(f"  {label} ms: {body}")
+        hot = sorted(((k, v) for k, v in self.counters.items() if v),
+                     key=lambda kv: -abs(kv[1]))[:top]
+        if hot:
+            lines.append("  counters: " + "  ".join(
+                f"{k}={v:g}" for k, v in hot))
+        if self.root is not None:
+            lines.append("  spans:")
+            for line in self.root.format_tree().splitlines():
+                lines.append("    " + line)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"QueryProfile(goal={self.goal!r}, "
+                f"solutions={self.solutions}, "
+                f"total_ms={self.total_ms():.2f})")
+
+
+def write_json_lines(path: str, profiles: List[QueryProfile]) -> int:
+    """Append the profiles to *path* as JSON lines; returns lines written."""
+    lines: List[str] = []
+    for profile in profiles:
+        lines.extend(profile.to_json_lines())
+    with open(path, "a", encoding="utf-8") as f:
+        for line in lines:
+            f.write(line + "\n")
+    return len(lines)

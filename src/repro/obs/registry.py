@@ -1,0 +1,183 @@
+"""The metrics registry: one namespace for every work counter.
+
+Before this module existed, counters were scattered: the WAM kept
+instruction and data-reference tallies (§3.2.1), the dynamic loader
+counted fetches and cache hits (§3.1), the pager counted page transfers
+(§2.2), and callers glued them together ad hoc with
+``merge_counters``/``diff_counters``.  The registry subsumes that glue
+behind a single snapshot/diff API:
+
+* **sources** — any object with ``counters()`` and/or ``io_counters()``
+  (machines, loaders, pagers, sessions, baselines) can be attached; its
+  counters appear in every snapshot under their existing names, so all
+  call sites and the :class:`~repro.engine.stats.CostModel` pricing keep
+  working unchanged;
+* **own metrics** — components may also increment named counters, set
+  gauges, or observe histogram values directly on the registry;
+* **snapshot / diff** — ``snapshot()`` returns one merged dict;
+  ``diff(after, before)`` is counter/gauge aware: monotonic counters
+  that shrank are treated as *reset* (the delta is what accumulated
+  after the reset), while gauges (levels such as ``buffer_resident``)
+  report their current value, since "delta of a level" is meaningless.
+
+Every counter name that can appear in a snapshot is documented in
+``docs/OBSERVABILITY.md``; ``tests/test_docs.py`` enforces that the
+glossary cannot rot.
+
+This module is stdlib-only (no repro imports) so any layer may use it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Gauge keys exposed by the built-in sources (levels, not event counts).
+#: Attach-time ``gauges=`` extends this per source; see the glossary.
+DEFAULT_GAUGE_KEYS = frozenset({
+    "pages", "buffer_resident", "heap_high_water",
+})
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self, prefix: str) -> Dict[str, float]:
+        out = {f"{prefix}.count": self.count, f"{prefix}.sum": self.total}
+        if self.count:
+            out[f"{prefix}.min"] = self.min
+            out[f"{prefix}.max"] = self.max
+        return out
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms plus attached counter sources."""
+
+    def __init__(self):
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sources: List[Any] = []
+        self._gauge_keys = set(DEFAULT_GAUGE_KEYS)
+
+    # -------------------------------------------------------------- sources
+
+    def attach(self, source: Any,
+               gauges: Iterable[str] = ()) -> Any:
+        """Register a counter source (``counters()``/``io_counters()``).
+
+        *gauges* names keys of this source that are levels rather than
+        monotonic counters, so :meth:`diff` reports them correctly.
+        Returns *source* for chaining.
+        """
+        if source not in self._sources:
+            self._sources.append(source)
+        self._gauge_keys.update(gauges)
+        return source
+
+    def detach(self, source: Any) -> None:
+        if source in self._sources:
+            self._sources.remove(source)
+
+    # ---------------------------------------------------------- own metrics
+
+    def inc(self, name: str, delta: float = 1) -> float:
+        value = self._counters.get(name, 0) + delta
+        self._counters[name] = value
+        return value
+
+    def gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+        self._gauge_keys.add(name)
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    # ------------------------------------------------------- snapshot/diff
+
+    def snapshot(self) -> Dict[str, float]:
+        """Every metric this registry can see, merged into one dict.
+
+        Source counters are *summed* when two sources emit the same key
+        (exactly the old ``merge_counters`` contract); gauges and
+        histogram summaries are included under their own names.
+        """
+        merged: Dict[str, float] = {}
+        for source in self._sources:
+            if hasattr(source, "counters"):
+                _merge_into(merged, source.counters())
+            if hasattr(source, "io_counters"):
+                _merge_into(merged, source.io_counters())
+        _merge_into(merged, self._counters)
+        merged.update(self._gauges)
+        for name, hist in self._histograms.items():
+            merged.update(hist.as_dict(name))
+        return merged
+
+    def diff(self, after: Dict[str, float],
+             before: Dict[str, float]) -> Dict[str, float]:
+        """Counter-aware delta between two snapshots.
+
+        * monotonic counter, grew: ordinary difference;
+        * monotonic counter, shrank: it was **reset** between the
+          snapshots — report its post-reset accumulation (``after``);
+        * gauge (registered via :meth:`attach`/:meth:`gauge`): report
+          the ``after`` level;
+        * key only in *before* (source detached / disappeared): omitted.
+        """
+        out: Dict[str, float] = {}
+        for key, value in after.items():
+            if not isinstance(value, (int, float)):
+                continue
+            if key in self._gauge_keys:
+                out[key] = value
+                continue
+            prev = before.get(key, 0)
+            if not isinstance(prev, (int, float)):
+                prev = 0
+            delta = value - prev
+            out[key] = value if delta < 0 else delta
+        return out
+
+    @staticmethod
+    def merge(*snapshots: Dict[str, float]) -> Dict[str, float]:
+        """Sum several snapshots key-wise (the ``merge_counters``
+        contract: non-numeric values are skipped)."""
+        merged: Dict[str, float] = {}
+        for snap in snapshots:
+            _merge_into(merged, snap)
+        return merged
+
+    # --------------------------------------------------------------exports
+
+    def gauge_keys(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._gauge_keys))
+
+
+def _merge_into(target: Dict[str, float], source: Dict[str, Any]) -> None:
+    for key, value in source.items():
+        if isinstance(value, (int, float)):
+            target[key] = target.get(key, 0) + value

@@ -1,0 +1,258 @@
+"""Lightweight tracing spans for the Educe* runtime.
+
+The paper's evaluation (§3.2.1, §5) is entirely counter-driven: WAM
+instructions, data references, page transfers.  Counters answer *how
+much* work a query did; spans answer *where* — which loader fetch, which
+pre-unification pass, which page reads.  A :class:`Tracer` records a
+tree of :class:`Span` objects per query:
+
+    query
+    ├─ loader.fetch            (one per cache-missed procedure load)
+    │  ├─ codec.resolve        (external → internal identifier mapping)
+    │  └─ preunify.filter      (head-code execution filter)
+    └─ relational.execute      (set-at-a-time plans, §4)
+
+Page-level I/O is recorded as *events* on the enclosing span rather than
+as spans of its own: a simulated page access costs 28 simulated 1990 ms
+but well under a microsecond of real work, so span-per-page would
+distort exactly the measurements this module exists to protect.
+
+Every span carries the *counter delta* observed across its extent (the
+tracer snapshots a :class:`~repro.obs.registry.MetricsRegistry` at entry
+and exit), so a span tree is a per-phase breakdown of the same work
+units the cost model prices.
+
+Design constraints:
+
+* **Zero cost when disabled.**  Components call ``tracer.span(...)``
+  unconditionally; a disabled tracer yields ``None`` without snapshotting
+  or allocating a :class:`Span`.  Event emitters guard with
+  ``tracer.enabled``.
+* **Bounded memory.**  At most ``max_spans`` spans and
+  ``max_events_per_span`` events are retained; overflow is counted in
+  ``dropped_spans`` / ``Span.events_dropped``, never silently ignored.
+* **No repro imports.**  This module is stdlib-only so every layer
+  (``wam``, ``bang``, ``edb``, ``relational``) can import it freely.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One traced region: name, wall time, attributes, counter delta."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "children",
+                 "events", "events_dropped", "counters", "start_s",
+                 "wall_s")
+
+    def __init__(self, name: str, span_id: int,
+                 parent_id: Optional[int] = None,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.children: List["Span"] = []
+        self.events: List[Dict[str, Any]] = []
+        self.events_dropped = 0
+        self.counters: Dict[str, float] = {}
+        self.start_s = 0.0
+        self.wall_s = 0.0
+
+    # ------------------------------------------------------------- traversal
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every descendant span (including self) with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    # ---------------------------------------------------------------- export
+
+    def to_dict(self) -> Dict[str, Any]:
+        """This span alone (children referenced by id, not inlined)."""
+        out: Dict[str, Any] = {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "wall_ms": round(self.wall_s * 1000.0, 6),
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.counters:
+            out["counters"] = self.counters
+        if self.events:
+            out["events"] = self.events
+        if self.events_dropped:
+            out["events_dropped"] = self.events_dropped
+        return out
+
+    def to_json_lines(self) -> List[str]:
+        """One JSON object per span in the subtree, pre-order."""
+        return [json.dumps(s.to_dict(), sort_keys=True, default=str)
+                for s in self.walk()]
+
+    def format_tree(self, counters: tuple = ("instr_count", "reads"),
+                    indent: str = "") -> str:
+        """Human-readable tree with wall time and selected counters."""
+        parts = [f"{indent}{self.name}  [{self.wall_s * 1000.0:.3f} ms"]
+        for key in counters:
+            value = self.counters.get(key)
+            if value:
+                parts.append(f" {key}={value:g}")
+        attr_bits = [f"{k}={v}" for k, v in self.attrs.items()]
+        line = "".join(parts) + "]" + \
+            (("  " + " ".join(attr_bits)) if attr_bits else "")
+        lines = [line]
+        if self.events:
+            lines.append(f"{indent}  · {len(self.events)} events"
+                         + (f" (+{self.events_dropped} dropped)"
+                            if self.events_dropped else ""))
+        for child in self.children:
+            lines.append(child.format_tree(counters, indent + "  "))
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Records nested spans; shared by every component of one session.
+
+    *snapshot* is a zero-argument callable returning the current merged
+    counter dict (typically ``MetricsRegistry.snapshot``); when present,
+    each span records the counter delta across its extent.
+    """
+
+    def __init__(self, snapshot: Optional[Callable[[], Dict]] = None,
+                 enabled: bool = False,
+                 max_spans: int = 100_000,
+                 max_events_per_span: int = 256,
+                 diff: Optional[Callable[[Dict, Dict], Dict]] = None):
+        self._snapshot = snapshot
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.max_events_per_span = max_events_per_span
+        self._stack: List[Span] = []
+        self.roots: List[Span] = []
+        self.dropped_spans = 0
+        self._next_id = 1
+        self._diff = diff or _plain_diff
+
+    # ------------------------------------------------------------------ API
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Optional[Span]]:
+        """Open a child span of the current span (or a new root).
+
+        Yields the :class:`Span` (mutate ``.attrs`` freely) or ``None``
+        when the tracer is disabled or over budget.
+        """
+        if not self.enabled:
+            yield None
+            return
+        if self._spans_recorded() >= self.max_spans:
+            self.dropped_spans += 1
+            yield None
+            return
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, self._next_id,
+                    parent.span_id if parent else None, attrs)
+        self._next_id += 1
+        span.start_s = time.perf_counter()
+        before = self._snapshot() if self._snapshot else None
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.wall_s = time.perf_counter() - span.start_s
+            if before is not None:
+                span.counters = {
+                    k: v
+                    for k, v in self._diff(self._snapshot(), before).items()
+                    if v}
+            # Pop *this* span even if an inner span leaked (generator
+            # abandoned mid-consumption): discard anything above it.
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+
+    def event(self, name: str, **attrs) -> None:
+        """Attach a point event to the current span (no-op outside one)."""
+        if not self.enabled or not self._stack:
+            return
+        span = self._stack[-1]
+        if len(span.events) >= self.max_events_per_span:
+            span.events_dropped += 1
+            return
+        event: Dict[str, Any] = {"event": name}
+        event.update(attrs)
+        span.events.append(event)
+
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def take_roots(self) -> List[Span]:
+        """Drain and return the finished root spans (oldest first)."""
+        roots, self.roots = self.roots, []
+        return roots
+
+    def to_json_lines(self) -> List[str]:
+        """JSON-lines export of every finished root span (not drained)."""
+        lines: List[str] = []
+        for root in self.roots:
+            lines.extend(root.to_json_lines())
+        return lines
+
+    # ------------------------------------------------------------ internals
+
+    def _spans_recorded(self) -> int:
+        return self._next_id - 1 - self.dropped_spans
+
+
+class NullTracer(Tracer):
+    """The default tracer: permanently disabled, shared singleton."""
+
+    def __init__(self):
+        super().__init__(enabled=False)
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return False
+
+    @enabled.setter
+    def enabled(self, value) -> None:
+        if value:
+            raise ValueError(
+                "NULL_TRACER cannot be enabled; construct a Tracer")
+
+
+def _plain_diff(after: Dict, before: Dict) -> Dict[str, float]:
+    """Counter delta with monotonic-reset handling (a counter that shrank
+    between snapshots was reset: report what accumulated after the
+    reset).  Gauge keys are handled upstream by the registry."""
+    out: Dict[str, float] = {}
+    for key, value in after.items():
+        if not isinstance(value, (int, float)):
+            continue
+        prev = before.get(key, 0)
+        if not isinstance(prev, (int, float)):
+            prev = 0
+        delta = value - prev
+        out[key] = value if delta < 0 else delta
+    return out
+
+
+NULL_TRACER = NullTracer()

@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..bang.relation import BangRelation
 from ..errors import CatalogError
+from ..obs.tracing import NULL_TRACER
 
 
 class Plan:
@@ -216,6 +217,34 @@ class Materialize(Plan):
         return self._count(iter(self._cache))
 
 
-def execute(plan: Plan) -> List[tuple]:
-    """Run a plan to completion; returns the materialised result."""
-    return list(plan.rows())
+def describe(plan: Plan) -> str:
+    """One-line plan summary with per-node row counts, e.g.
+    ``HashJoin#1000(Select#100(emp), Scan#10000(dept))``."""
+    children = [getattr(plan, attr) for attr in
+                ("child", "left", "right", "outer")
+                if isinstance(getattr(plan, attr, None), Plan)]
+    inner = getattr(plan, "inner", None)
+    label = f"{type(plan).__name__}#{plan.rows_out}"
+    parts = [describe(c) for c in children]
+    if isinstance(inner, BangRelation):
+        parts.append(getattr(inner, "name", "relation"))
+    elif isinstance(plan, (Scan, Select, RangeSelect)):
+        parts.append(getattr(plan.relation, "name", "relation"))
+    return label + (f"({', '.join(parts)})" if parts else "")
+
+
+def execute(plan: Plan, tracer=None) -> List[tuple]:
+    """Run a plan to completion; returns the materialised result.
+
+    With a tracer, the run is recorded as a ``relational.execute`` span
+    whose ``plan`` attribute carries the post-execution shape (node
+    types + per-node cardinalities) alongside the span's counter delta
+    (page reads, buffer hits, ...).
+    """
+    tracer = tracer or NULL_TRACER
+    with tracer.span("relational.execute") as span:
+        rows = list(plan.rows())
+        if span is not None:
+            span.attrs["plan"] = describe(plan)
+            span.attrs["rows"] = len(rows)
+    return rows

@@ -49,6 +49,7 @@ from ..errors import (
     TypeError_,
 )
 from ..lang.reader import Reader
+from ..obs.tracing import NULL_TRACER
 from ..terms import NIL, Atom, Struct, Term, Var, deref
 from . import instructions as I
 from .compiler import (
@@ -189,6 +190,9 @@ class Machine:
         self.procedures: Dict[int, Procedure] = {}
         self.unknown_handler: Optional[Callable] = None
         self.output: List[str] = []
+        # Observability: the session replaces this with its shared
+        # tracer; standalone machines keep the free no-op.
+        self.tracer = NULL_TRACER
 
         # Machine state.
         self.heap: list = []
@@ -341,33 +345,46 @@ class Machine:
             varmap = {v.name: v for v in _surface_vars(goal_term)
                       if not v.name.startswith("_")}
 
+        if self.tracer.enabled:
+            if isinstance(goal, str):
+                label = " ".join(goal.split())[:200]
+            else:
+                from ..lang.writer import term_to_text
+                label = term_to_text(goal_term)[:200]
+        else:
+            label = ""
+
         mark = self._save_state()
         holders: List[list] = []
-        try:
-            cell, addr_of = self._build(goal_term, {})
-            # GC-safe watch cells: the collector rewrites holder contents.
-            watch = {}
-            for name, var in varmap.items():
-                addr = addr_of.get(id(var))
-                if addr is not None:
-                    holder = [("REF", addr)]
-                    watch[name] = holder
-                    holders.append(holder)
-            self.rooted.extend(holders)
-            count = 0
-            for _ in self._solve_cell(cell):
-                bindings = {}
-                memo: dict = {}
-                for name, holder in watch.items():
-                    bindings[name] = self._extract(holder[0], memo)
-                yield Solution(bindings)
-                count += 1
-                if limit is not None and count >= limit:
-                    return
-        finally:
-            for holder in holders:
-                self.rooted.remove(holder)
-            self._restore_state(mark)
+        count = 0
+        with self.tracer.span("query", goal=label) as qspan:
+            try:
+                cell, addr_of = self._build(goal_term, {})
+                # GC-safe watch cells: the collector rewrites holder
+                # contents.
+                watch = {}
+                for name, var in varmap.items():
+                    addr = addr_of.get(id(var))
+                    if addr is not None:
+                        holder = [("REF", addr)]
+                        watch[name] = holder
+                        holders.append(holder)
+                self.rooted.extend(holders)
+                for _ in self._solve_cell(cell):
+                    bindings = {}
+                    memo: dict = {}
+                    for name, holder in watch.items():
+                        bindings[name] = self._extract(holder[0], memo)
+                    count += 1   # before yield: consumer may not resume
+                    yield Solution(bindings)
+                    if limit is not None and count >= limit:
+                        return
+            finally:
+                if qspan is not None:
+                    qspan.attrs["solutions"] = count
+                for holder in holders:
+                    self.rooted.remove(holder)
+                self._restore_state(mark)
 
     def solve_once(self, goal) -> Optional[Solution]:
         """First solution or None."""

@@ -1,0 +1,152 @@
+"""Doc-sync tests: the observability glossary and doc links cannot rot.
+
+Every counter key a live session can emit must be documented (backtick
+quoted) in docs/OBSERVABILITY.md, and every path mentioned as inline
+code in README.md / DESIGN.md must exist in the repository.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO = os.path.join(os.path.dirname(__file__), os.pardir)
+
+
+def read_doc(name: str) -> str:
+    with open(os.path.join(REPO, name), "r", encoding="utf-8") as f:
+        return f.read()
+
+
+@pytest.fixture(scope="module")
+def glossary() -> str:
+    return read_doc(os.path.join("docs", "OBSERVABILITY.md"))
+
+
+def documented(glossary: str) -> set:
+    """Every backtick-quoted token in the glossary."""
+    return set(re.findall(r"`([^`\s]+)`", glossary))
+
+
+# =====================================================================
+# Counter glossary coverage
+# =====================================================================
+
+class TestCounterGlossary:
+    def test_educestar_counters_documented(self, glossary):
+        from repro import EduceStar
+        kb = EduceStar()
+        kb.store_program("p(1). p(2). q(X) :- p(X).")
+        for _ in kb.solve("q(X)"):
+            pass
+        names = documented(glossary)
+        snapshot = kb.metrics.snapshot()
+        missing = sorted(k for k in snapshot if k not in names)
+        assert not missing, (
+            f"counters emitted but not in docs/OBSERVABILITY.md: {missing}")
+
+    def test_component_counters_documented(self, glossary):
+        from repro import EduceStar
+        kb = EduceStar()
+        names = documented(glossary)
+        for source in (kb.machine.counters(), kb.loader.counters(),
+                       kb.store.pager.io_counters(), kb.counters()):
+            for key in source:
+                assert key in names, key
+
+    def test_baseline_counters_documented(self, glossary):
+        from repro.engine.educe_baseline import EduceBaseline
+        names = documented(glossary)
+        for key in EduceBaseline().counters():
+            assert key in names, key
+
+    def test_relational_work_unit_documented(self, glossary):
+        assert "tuple_ops" in documented(glossary)
+
+    def test_cost_model_terms_documented(self, glossary):
+        from repro.engine.stats import CostModel
+        sim = CostModel().breakdown({})
+        names = documented(glossary)
+        for term in list(sim["cpu"]) + list(sim["io"]):
+            assert term in names, term
+
+    def test_cost_model_constants_documented(self, glossary):
+        import dataclasses
+        from repro.engine.stats import CostModel
+        names = documented(glossary)
+        priced = [f.name for f in dataclasses.fields(CostModel)
+                  if f.name.startswith(("native_per_", "disc_"))]
+        missing = sorted(c for c in priced if c not in names)
+        assert not missing, (
+            f"CostModel constants not in the glossary: {missing}")
+
+    def test_gauges_flagged(self, glossary):
+        from repro.obs import DEFAULT_GAUGE_KEYS
+        names = documented(glossary)
+        for key in DEFAULT_GAUGE_KEYS:
+            assert key in names, key
+
+    def test_span_taxonomy_documented(self, glossary):
+        from repro import EduceStar
+        kb = EduceStar()
+        kb.store_program("p(1). p(2). q(X) :- p(X).")
+        prof = kb.profile("q(X)")
+        names = documented(glossary)
+        for span in prof.root.walk():
+            assert span.name in names, span.name
+            for event in span.events:
+                assert event["event"] in names, event["event"]
+        # the full taxonomy, including spans this tiny query never opened
+        for span_name in ("query", "loader.fetch", "codec.resolve",
+                          "preunify.filter", "relational.execute"):
+            assert span_name in names, span_name
+        for event_name in ("page.read", "page.write", "page.evict",
+                           "loader.cache_hit"):
+            assert event_name in names, event_name
+
+
+# =====================================================================
+# Doc links
+# =====================================================================
+
+# Directories a bare inline-code path may live under.
+_SEARCH_ROOTS = ("", "src", "src/repro", "benchmarks", "examples",
+                 "tests", "docs")
+
+_PATH_RE = re.compile(r"`([A-Za-z0-9_./-]+\.(?:py|md|pl|txt|json))`")
+
+
+def _exists(path: str) -> bool:
+    return any(os.path.exists(os.path.join(REPO, root, path))
+               for root in _SEARCH_ROOTS)
+
+
+class TestDocLinks:
+    @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md",
+                                     "docs/OBSERVABILITY.md",
+                                     "EXPERIMENTS.md"])
+    def test_inline_code_paths_exist(self, doc):
+        text = read_doc(doc)
+        missing = sorted({p for p in _PATH_RE.findall(text)
+                          if not _exists(p)})
+        assert not missing, f"{doc} references missing paths: {missing}"
+
+    def test_readme_test_count_is_current(self):
+        """README's advertised test count must match reality (±5%)."""
+        text = read_doc("README.md")
+        m = re.search(r"~?(\d{3,})\s+(?:unit[\w/-]*\s+)?tests", text)
+        assert m, "README.md no longer states a test count"
+        claimed = int(m.group(1))
+        import subprocess
+        import sys
+        out = subprocess.run(
+            [sys.executable, "-m", "pytest", "--collect-only", "-q"],
+            capture_output=True, text=True, cwd=REPO,
+            env={**os.environ,
+                 "PYTHONPATH": os.path.join(REPO, "src")}).stdout
+        m2 = re.search(r"(\d+) tests collected", out)
+        assert m2, f"could not collect tests: {out[-400:]}"
+        actual = int(m2.group(1))
+        assert abs(actual - claimed) <= actual * 0.05, (
+            f"README claims ~{claimed} tests, but {actual} collect; "
+            "update the README")

@@ -1,0 +1,388 @@
+"""Tests for the observability layer (repro.obs).
+
+Registry snapshot/diff semantics, tracing span nesting and budgets, and
+end-to-end per-query profiles from an EduceStar session.
+"""
+
+import json
+
+import pytest
+
+from repro import EduceStar
+from repro.obs import (
+    DEFAULT_GAUGE_KEYS,
+    Histogram,
+    MetricsRegistry,
+    NULL_TRACER,
+    QueryProfile,
+    Span,
+    Tracer,
+    write_json_lines,
+)
+
+
+class FakeSource:
+    def __init__(self, **values):
+        self.values = dict(values)
+
+    def counters(self):
+        return dict(self.values)
+
+
+class FakeIOSource:
+    def __init__(self, **values):
+        self.values = dict(values)
+
+    def io_counters(self):
+        return dict(self.values)
+
+
+# =====================================================================
+# MetricsRegistry
+# =====================================================================
+
+class TestMetricsRegistry:
+    def test_own_counters(self):
+        reg = MetricsRegistry()
+        reg.inc("loads")
+        reg.inc("loads", 4)
+        assert reg.snapshot()["loads"] == 5
+
+    def test_attached_sources_summed(self):
+        reg = MetricsRegistry()
+        reg.attach(FakeSource(n=2))
+        reg.attach(FakeSource(n=3, m=1))
+        snap = reg.snapshot()
+        assert snap["n"] == 5 and snap["m"] == 1
+
+    def test_io_counters_source(self):
+        reg = MetricsRegistry()
+        reg.attach(FakeIOSource(reads=7))
+        assert reg.snapshot()["reads"] == 7
+
+    def test_attach_is_idempotent(self):
+        reg = MetricsRegistry()
+        src = FakeSource(n=1)
+        reg.attach(src)
+        reg.attach(src)
+        assert reg.snapshot()["n"] == 1
+
+    def test_detach_removes_source(self):
+        reg = MetricsRegistry()
+        src = reg.attach(FakeSource(n=1))
+        reg.detach(src)
+        assert "n" not in reg.snapshot()
+
+    def test_non_numeric_values_skipped(self):
+        reg = MetricsRegistry()
+        reg.attach(FakeSource(n=1, label="hi"))
+        assert reg.snapshot() == {"n": 1}
+
+    def test_gauge_reports_level_not_delta(self):
+        reg = MetricsRegistry()
+        reg.gauge("water", 10)
+        before = reg.snapshot()
+        reg.gauge("water", 4)
+        diff = reg.diff(reg.snapshot(), before)
+        assert diff["water"] == 4  # current level, not -6
+
+    def test_default_gauge_keys_respected(self):
+        reg = MetricsRegistry()
+        assert "buffer_resident" in DEFAULT_GAUGE_KEYS
+        diff = reg.diff({"buffer_resident": 3}, {"buffer_resident": 9})
+        assert diff["buffer_resident"] == 3
+
+    def test_attach_time_gauges(self):
+        reg = MetricsRegistry()
+        reg.attach(FakeSource(depth=5), gauges=("depth",))
+        diff = reg.diff({"depth": 2}, {"depth": 5})
+        assert diff["depth"] == 2
+        assert "depth" in reg.gauge_keys()
+
+    def test_counter_diff_plain(self):
+        reg = MetricsRegistry()
+        assert reg.diff({"n": 9}, {"n": 4}) == {"n": 5}
+
+    def test_counter_reset_reports_post_reset_value(self):
+        # n was reset between snapshots; 3 accumulated since.
+        reg = MetricsRegistry()
+        assert reg.diff({"n": 3}, {"n": 100}) == {"n": 3}
+
+    def test_disappeared_key_omitted(self):
+        reg = MetricsRegistry()
+        assert reg.diff({}, {"gone": 12}) == {}
+
+    def test_new_key_is_full_value(self):
+        reg = MetricsRegistry()
+        assert reg.diff({"fresh": 6}, {}) == {"fresh": 6}
+
+    def test_histogram_summary_in_snapshot(self):
+        reg = MetricsRegistry()
+        for v in (2.0, 8.0, 5.0):
+            reg.observe("fetch_ms", v)
+        snap = reg.snapshot()
+        assert snap["fetch_ms.count"] == 3
+        assert snap["fetch_ms.sum"] == 15.0
+        assert snap["fetch_ms.min"] == 2.0
+        assert snap["fetch_ms.max"] == 8.0
+        assert reg.histogram("fetch_ms").mean == 5.0
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.as_dict("x") == {"x.count": 0, "x.sum": 0.0}
+
+    def test_static_merge(self):
+        merged = MetricsRegistry.merge({"a": 1}, {"a": 2, "b": 3})
+        assert merged == {"a": 3, "b": 3}
+
+
+# =====================================================================
+# Tracer / Span
+# =====================================================================
+
+class TestTracer:
+    def test_disabled_yields_none(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("query") as span:
+            assert span is None
+        assert tracer.roots == []
+
+    def test_null_tracer_cannot_be_enabled(self):
+        with pytest.raises(ValueError):
+            NULL_TRACER.enabled = True
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("x") as span:
+            assert span is None
+
+    def test_nesting_and_ordering(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("query") as q:
+            with tracer.span("loader.fetch", procedure="p/1"):
+                with tracer.span("codec.resolve"):
+                    pass
+            with tracer.span("preunify.filter"):
+                pass
+        assert [s.name for s in q.walk()] == [
+            "query", "loader.fetch", "codec.resolve", "preunify.filter"]
+        fetch = q.children[0]
+        assert fetch.parent_id == q.span_id
+        assert fetch.children[0].name == "codec.resolve"
+        assert q.span_id < fetch.span_id  # ids allocated in open order
+        assert tracer.roots == [q]
+
+    def test_current_span(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+    def test_counter_deltas_per_span(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(snapshot=reg.snapshot, diff=reg.diff, enabled=True)
+        with tracer.span("outer"):
+            reg.inc("work", 2)
+            with tracer.span("inner"):
+                reg.inc("work", 5)
+        outer = tracer.roots[0]
+        assert outer.counters["work"] == 7  # includes the child's work
+        assert outer.children[0].counters["work"] == 5
+
+    def test_zero_deltas_filtered(self):
+        reg = MetricsRegistry()
+        reg.inc("idle", 3)
+        tracer = Tracer(snapshot=reg.snapshot, diff=reg.diff, enabled=True)
+        with tracer.span("quiet"):
+            pass
+        assert tracer.roots[0].counters == {}
+
+    def test_events_attach_to_current_span(self):
+        tracer = Tracer(enabled=True)
+        tracer.event("orphan")  # no current span: dropped silently
+        with tracer.span("io") as span:
+            tracer.event("page.read", page=3, bytes=4096)
+        assert span.events == [
+            {"event": "page.read", "page": 3, "bytes": 4096}]
+
+    def test_event_budget(self):
+        tracer = Tracer(enabled=True, max_events_per_span=2)
+        with tracer.span("io") as span:
+            for i in range(5):
+                tracer.event("page.read", page=i)
+        assert len(span.events) == 2
+        assert span.events_dropped == 3
+
+    def test_span_budget(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            with tracer.span("c") as c:  # over budget
+                assert c is None
+        assert tracer.dropped_spans == 1
+        assert len(tracer.roots) == 2
+
+    def test_take_roots_drains(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("one"):
+            pass
+        roots = tracer.take_roots()
+        assert [s.name for s in roots] == ["one"]
+        assert tracer.take_roots() == []
+
+    def test_stack_repair_on_leaked_inner_span(self):
+        # An abandoned generator can leave an inner span open; closing
+        # the outer span must still pop cleanly.
+        tracer = Tracer(enabled=True)
+        outer_cm = tracer.span("outer")
+        inner_cm = tracer.span("inner")
+        outer = outer_cm.__enter__()
+        inner_cm.__enter__()
+        outer_cm.__exit__(None, None, None)  # inner never exited
+        assert tracer.current_span() is None
+        assert tracer.roots == [outer]
+
+    def test_wall_time_recorded(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("t") as span:
+            pass
+        assert span.wall_s >= 0.0
+
+    def test_json_lines_roundtrip(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("query", goal="p(X)"):
+            with tracer.span("loader.fetch"):
+                tracer.event("page.read", page=1)
+        lines = tracer.to_json_lines()
+        objs = [json.loads(line) for line in lines]
+        assert [o["name"] for o in objs] == ["query", "loader.fetch"]
+        assert objs[1]["parent_id"] == objs[0]["span_id"]
+        assert objs[1]["events"] == [{"event": "page.read", "page": 1}]
+
+    def test_span_find_and_format_tree(self):
+        root = Span("query", 1)
+        child = Span("loader.fetch", 2, parent_id=1, attrs={"mode": "rules"})
+        root.children.append(child)
+        assert root.find("loader.fetch") == [child]
+        text = root.format_tree()
+        assert "query" in text and "loader.fetch" in text
+        assert "mode=rules" in text
+
+
+# =====================================================================
+# QueryProfile + session integration
+# =====================================================================
+
+PROGRAM = """
+parent(terach, abraham).  parent(terach, nachor).  parent(terach, haran).
+parent(abraham, isaac).   parent(haran, lot).
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+"""
+
+
+@pytest.fixture()
+def kb():
+    session = EduceStar()
+    session.store_program(PROGRAM)
+    return session
+
+
+class TestQueryProfile:
+    def test_profile_returns_query_profile(self, kb):
+        prof = kb.profile("ancestor(terach, D)")
+        assert isinstance(prof, QueryProfile)
+        assert prof.solutions == 5
+        assert prof.root is not None and prof.root.name == "query"
+        assert prof.root.attrs["solutions"] == 5
+        assert prof.counters["instr_count"] > 0
+
+    def test_span_tree_shows_loader_activity(self, kb):
+        prof = kb.profile("ancestor(terach, D)")
+        fetches = prof.root.find("loader.fetch")
+        assert fetches, "stored-procedure query must record loader.fetch"
+        procs = {s.attrs["procedure"] for s in fetches}
+        assert "ancestor/2" in procs
+        rules = [s for s in fetches if s.attrs["mode"] == "rules"]
+        assert rules and rules[0].find("codec.resolve")
+        assert prof.root.find("preunify.filter")
+
+    def test_breakdown_sums(self, kb):
+        prof = kb.profile("parent(terach, C)")
+        sim = prof.breakdown()
+        assert sim["total_ms"] == pytest.approx(
+            sim["cpu_ms"] + sim["io_ms"])
+        assert sim["cpu_ms"] == pytest.approx(sum(sim["cpu"].values()))
+        assert sim["io_ms"] == pytest.approx(sum(sim["io"].values()))
+        assert prof.total_ms() == pytest.approx(sim["total_ms"])
+
+    def test_tracing_disabled_after_profile(self, kb):
+        kb.profile("parent(terach, C)")
+        assert kb.tracer.enabled is False
+        # and an untraced solve records no spans
+        for _ in kb.solve("parent(terach, C)"):
+            pass
+        assert kb.tracer.roots == []
+
+    def test_solve_profile_true_sets_last_profile_on_close(self, kb):
+        solutions = kb.solve("parent(terach, C)", profile=True)
+        next(solutions)
+        solutions.close()  # early break, not exhaustion
+        prof = kb.last_profile
+        assert prof is not None and prof.solutions == 1
+        assert prof.root.attrs["solutions"] == 1
+
+    def test_json_lines_header_plus_spans(self, kb, tmp_path):
+        prof = kb.profile("ancestor(terach, D)")
+        lines = prof.to_json_lines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "query_profile"
+        assert header["solutions"] == 5
+        assert header["spans"] == len(lines) - 1
+        assert all(json.loads(l)["kind"] == "span" for l in lines[1:])
+
+        path = tmp_path / "profiles.jsonl"
+        n = write_json_lines(str(path), [prof])
+        n2 = write_json_lines(str(path), [prof])  # appends
+        assert n == n2 == len(lines)
+        assert len(path.read_text().splitlines()) == 2 * n
+
+    def test_format_is_readable(self, kb):
+        text = kb.profile("ancestor(terach, D)").format()
+        assert "goal: ancestor(terach, D)" in text
+        assert "simulated 1990" in text
+        assert "query" in text and "loader.fetch" in text
+
+    def test_metrics_snapshot_covers_all_layers(self, kb):
+        for _ in kb.solve("ancestor(terach, D)"):
+            pass
+        snap = kb.metrics.snapshot()
+        for key in ("instr_count", "data_refs", "loads", "parsed_chars",
+                    "buffer_hits", "pages"):
+            assert key in snap, key
+
+    def test_relational_execute_span(self, kb):
+        from repro.relational.algebra import Scan, execute
+        kb.store_relation("emp", [(i, i * 10) for i in range(20)])
+        tracer = Tracer(enabled=True)
+        rows = execute(Scan(kb.relation("emp", 2)), tracer=tracer)
+        assert len(rows) == 20
+        span = tracer.roots[-1]
+        assert span.name == "relational.execute"
+        assert span.attrs["rows"] == 20
+        assert span.attrs["plan"].startswith("Scan#20")
+
+    def test_page_events_recorded_under_buffer_pressure(self):
+        from repro.bang.pager import Pager
+        kb = EduceStar(pager=Pager(buffer_pages=2))
+        kb.store_relation("num", [(i,) for i in range(2000)])
+        prof = kb.profile("num(0)")
+        events = [e for s in prof.root.walk() for e in s.events]
+        names = {e["event"] for e in events}
+        assert "page.read" in names
+        read = next(e for e in events if e["event"] == "page.read")
+        assert "page" in read and "bytes" in read

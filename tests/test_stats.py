@@ -38,6 +38,19 @@ class TestCostModel:
         assert base.mips == 4.0
         assert client.disc_access_ms == base.disc_access_ms
 
+    def test_at_mips_preserves_non_default_fields(self):
+        # Regression: at_mips used CostModel(**self.__dict__), which
+        # breaks as soon as the clone path and the field list drift;
+        # it must be a dataclasses.replace so every customised field
+        # (here a non-default disc) survives the re-pricing.
+        base = CostModel(disc_access_ms=50.0, native_per_wam_instr=99)
+        client = base.at_mips(2.0)
+        assert isinstance(client, CostModel)
+        assert client.mips == 2.0
+        assert client.disc_access_ms == 50.0
+        assert client.native_per_wam_instr == 99
+        assert base.mips != 2.0  # original untouched
+
     def test_every_counter_kind_priced(self):
         m = CostModel()
         for key in ("instr_count", "data_refs", "parsed_chars",
@@ -70,6 +83,26 @@ class TestCounterHelpers:
         assert diff_counters({"a": 5, "b": 1}, {"a": 2}) == \
             {"a": 3, "b": 1}
 
+    def test_merge_floats(self):
+        merged = merge_counters({"ms": 1.5, "n": 1}, {"ms": 2.25})
+        assert merged == {"ms": 3.75, "n": 1}
+        assert isinstance(merged["ms"], float)
+
+    def test_diff_reset_default_goes_negative(self):
+        # A counter that shrank (reset between snapshots) yields a raw
+        # negative delta by default — the historical contract.
+        assert diff_counters({"a": 3}, {"a": 100}) == {"a": -97}
+
+    def test_diff_reset_clamped(self):
+        # clamp_resets reads a shrunk counter as "reset, then
+        # accumulated this much" (the registry's monotonic semantics).
+        assert diff_counters({"a": 3}, {"a": 100},
+                             clamp_resets=True) == {"a": 3}
+
+    def test_diff_disappearing_counter_ignored(self):
+        # Keys only in *before* (source detached) are not reported.
+        assert diff_counters({"a": 5}, {"a": 2, "gone": 9}) == {"a": 3}
+
 
 class TestMeasureContext:
     class FakeSource:
@@ -93,3 +126,27 @@ class TestMeasureContext:
             a.n = 1
             b.n = 2
         assert m.counters == {"n": 3}
+
+    def test_nested_measure_blocks(self):
+        # Inner deltas must not leak into or steal from the outer
+        # measurement: the outer block sees the whole accumulation,
+        # the inner block only its own extent.
+        src = self.FakeSource()
+        with measure(src) as outer:
+            src.n += 2
+            with measure(src) as inner:
+                src.n += 5
+            src.n += 1
+        assert inner.counters == {"n": 5}
+        assert outer.counters == {"n": 8}
+
+    def test_nested_measure_sibling_blocks(self):
+        src = self.FakeSource()
+        with measure(src) as outer:
+            with measure(src) as first:
+                src.n += 3
+            with measure(src) as second:
+                src.n += 4
+        assert first.counters == {"n": 3}
+        assert second.counters == {"n": 4}
+        assert outer.counters == {"n": 7}
