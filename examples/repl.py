@@ -11,8 +11,10 @@ A minimal shell over an :class:`~repro.EduceStar` session:
   ==============  ==============================================
   ``:load F``     consult a Prolog file into main memory
   ``:store F``    compile a Prolog file into the EDB
-  ``:save F``     persist the EDB
-  ``:open F``     reopen a saved EDB in a fresh session
+  ``:save F``     persist the EDB (atomic checkpoint; see
+                  docs/DURABILITY.md)
+  ``:open F``     reopen a saved EDB in a fresh session, running
+                  crash recovery; prints the recovery report
   ``:listing P``  show clauses / disassembly for predicate P
   ``:trace``      toggle per-query tracing (``:trace on|off``);
                   when on, each query prints its profile: span
@@ -128,10 +130,14 @@ def command(session, line: str, interactive: bool):
         print(f"stored {arg} in the EDB")
     elif cmd == ":save" and arg:
         session.save(arg)
-        print(f"saved EDB to {arg}")
+        print(f"saved EDB to {arg} (checkpoint atomic, WAL reset)")
     elif cmd == ":open" and arg:
         session = EduceStar.open(arg)
-        print(f"opened {arg}")
+        report = session.store.recovery
+        if report is not None:
+            print(report.format())
+        else:
+            print(f"opened {arg}")
     elif cmd == ":listing" and arg:
         session.machine.output.clear()
         if session.solve_once(f"listing({arg})") is not None:

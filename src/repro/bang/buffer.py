@@ -60,8 +60,14 @@ class BufferPool:
         self._dirty.add(page_id)
 
     def flush(self) -> None:
-        """Write back every dirty frame."""
-        for page_id in list(self._dirty):
+        """Write back every dirty frame.
+
+        Pages are written in ascending page-id order so the physical
+        write sequence is deterministic — fault-injection plans
+        ("fail the Nth write", "tear the Nth write") stay reproducible
+        run over run instead of depending on set iteration order.
+        """
+        for page_id in sorted(self._dirty):
             self.disk.write(page_id, self._frames.get(page_id))
             self.writebacks += 1
         self._dirty.clear()

@@ -1,0 +1,179 @@
+"""Deterministic fault injection for the durable storage stack.
+
+A long-lived knowledge-base server (the deployment regime of the
+BinProlog experience report, and this repo's ROADMAP north star) must
+assume that the process dies at arbitrary instants and that discs lie.
+Testing that claim by hoping for real crashes is not engineering; the
+:class:`FaultInjector` makes every failure mode a *deterministic,
+replayable* event:
+
+* **fail-Nth-write** — the Nth physical write raises
+  :class:`InjectedIOError` before any byte reaches the file (a full
+  disc / EIO);
+* **torn write** — the Nth physical write persists only a prefix of its
+  bytes and then the process "dies" (:class:`InjectedCrash`) — the
+  classic torn-page / torn-log-record scenario;
+* **bit-flip-on-read** — the Nth physical read returns its bytes with
+  one bit inverted (media bit-rot, controller corruption);
+* **crash points** — named locations in the durability code
+  (``wal.append.mid``, ``checkpoint.pre_rename``, ...) where an armed
+  injector raises :class:`InjectedCrash`, so a test can kill the
+  "process" at every interesting instant of a checkpoint or log append.
+
+Stores accept an injector and route all physical I/O through
+:meth:`FaultInjector.write` / :meth:`FaultInjector.read`, and announce
+named instants via :meth:`FaultInjector.crash_point`.  The default
+:data:`NULL_FAULTS` singleton compiles to plain ``f.write``/``f.read``
+calls — production code pays nothing.
+
+:class:`InjectedCrash` deliberately subclasses :class:`BaseException`:
+a simulated ``kill -9`` must not be swallowed by ordinary
+``except Exception`` error handling inside the storage layer.  After it
+fires, the in-memory store object is dead — tests abandon it and reopen
+the database from disk, exactly as a restarted process would.
+
+The registered crash-point names are documented in
+``docs/DURABILITY.md`` ("Fault-injection knobs").
+"""
+
+from __future__ import annotations
+
+from typing import IO, Dict, List, Optional, Tuple
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at an armed crash point or torn write.
+
+    Subclasses :class:`BaseException` so storage-layer ``except
+    Exception`` clauses cannot absorb a simulated kill.
+    """
+
+
+class InjectedIOError(OSError):
+    """Simulated I/O failure (disc full, EIO) from ``fail-Nth-write``."""
+
+
+class FaultInjector:
+    """Deterministic fault plan shared by the stores of one EDB.
+
+    All counters are cumulative across every file the injector is
+    plugged into (pages file, WAL, checkpoint), which is what makes a
+    plan like "fail the 7th physical write of this workload"
+    deterministic and meaningful.
+    """
+
+    def __init__(self):
+        self.writes_seen = 0
+        self.reads_seen = 0
+        #: crash-point name -> remaining hits to skip before firing
+        self._crash_points: Dict[str, int] = {}
+        self._fail_write_nth: Optional[int] = None
+        self._torn_write: Optional[Tuple[int, float]] = None  # (nth, keep)
+        self._bitflip_read: Optional[Tuple[int, int]] = None  # (nth, bit)
+        #: every fault that actually fired, in order (test assertions)
+        self.fired: List[str] = []
+
+    # ------------------------------------------------------------- arming
+
+    def arm_crash_point(self, name: str, skip: int = 0) -> "FaultInjector":
+        """Raise :class:`InjectedCrash` the (skip+1)-th time *name* is
+        announced via :meth:`crash_point`."""
+        self._crash_points[name] = skip
+        return self
+
+    def arm_fail_write(self, nth: int) -> "FaultInjector":
+        """The *nth* physical write (1-based, across all files) raises
+        :class:`InjectedIOError` without writing anything."""
+        self._fail_write_nth = nth
+        return self
+
+    def arm_torn_write(self, nth: int, keep: float = 0.5) -> "FaultInjector":
+        """The *nth* physical write persists only ``keep`` (fraction) of
+        its bytes, then raises :class:`InjectedCrash`."""
+        self._torn_write = (nth, keep)
+        return self
+
+    def arm_bitflip_read(self, nth: int, bit: int = 3) -> "FaultInjector":
+        """The *nth* physical read returns its data with *bit* (absolute
+        bit index into the buffer) inverted."""
+        self._bitflip_read = (nth, bit)
+        return self
+
+    # -------------------------------------------------------------- hooks
+
+    def crash_point(self, name: str) -> None:
+        """Announce a named instant; dies here if the point is armed."""
+        remaining = self._crash_points.get(name)
+        if remaining is None:
+            return
+        if remaining > 0:
+            self._crash_points[name] = remaining - 1
+            return
+        del self._crash_points[name]
+        self.fired.append(name)
+        raise InjectedCrash(f"crash point {name!r}")
+
+    def write(self, f: IO[bytes], data: bytes) -> None:
+        """Physical write of *data* to *f*, subject to the fault plan."""
+        self.writes_seen += 1
+        n = self.writes_seen
+        if self._fail_write_nth == n:
+            self._fail_write_nth = None
+            self.fired.append(f"fail_write#{n}")
+            raise InjectedIOError(f"injected write failure (write #{n})")
+        if self._torn_write is not None and self._torn_write[0] == n:
+            _, keep = self._torn_write
+            self._torn_write = None
+            kept = max(0, min(len(data), int(len(data) * keep)))
+            f.write(data[:kept])
+            self.fired.append(f"torn_write#{n}")
+            raise InjectedCrash(
+                f"torn write (write #{n}: {kept}/{len(data)} bytes)")
+        f.write(data)
+
+    def read(self, f: IO[bytes], size: int) -> bytes:
+        """Physical read of *size* bytes from *f*, subject to the plan."""
+        data = f.read(size)
+        self.reads_seen += 1
+        n = self.reads_seen
+        if self._bitflip_read is not None and self._bitflip_read[0] == n:
+            _, bit = self._bitflip_read
+            self._bitflip_read = None
+            if data:
+                bit %= len(data) * 8
+                flipped = bytearray(data)
+                flipped[bit // 8] ^= 1 << (bit % 8)
+                data = bytes(flipped)
+                self.fired.append(f"bitflip_read#{n}")
+        return data
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._crash_points or self._fail_write_nth is not None
+                    or self._torn_write is not None
+                    or self._bitflip_read is not None)
+
+
+class NullFaultInjector(FaultInjector):
+    """The default injector: nothing ever fires; arming is an error."""
+
+    def crash_point(self, name: str) -> None:
+        pass
+
+    def write(self, f: IO[bytes], data: bytes) -> None:
+        f.write(data)
+
+    def read(self, f: IO[bytes], size: int) -> bytes:
+        return f.read(size)
+
+    def _refuse(self, *args, **kwargs):
+        raise ValueError(
+            "NULL_FAULTS cannot be armed; construct a FaultInjector")
+
+    arm_crash_point = _refuse
+    arm_fail_write = _refuse
+    arm_torn_write = _refuse
+    arm_bitflip_read = _refuse
+
+
+NULL_FAULTS = NullFaultInjector()

@@ -1,0 +1,161 @@
+"""Write-ahead log for the durable EDB.
+
+Between checkpoints, every committed EDB mutation (``store_rules``,
+``assert_clause``, ``retract_clause``, ...) appends one *redo record* to
+this log; :meth:`repro.edb.store.ExternalStore.open` replays the
+committed records on top of the last checkpoint to reconstruct the
+pre-crash state.  The log knows nothing about record *contents* — it is
+a byte-payload journal with crash-safe framing:
+
+.. code-block:: text
+
+    frame := magic "WA" (2) | lsn u64 | length u32 | crc32 u32 | payload
+
+All integers are big-endian.  A record is **committed** iff its frame is
+complete and its CRC matches; :meth:`scan` stops at the first torn or
+corrupt frame (a crash mid-append) and reports the byte offset of the
+last good frame so recovery can truncate the garbage tail.  LSNs are
+sequential from 0 within one log generation; a gap or repeat is treated
+the same as corruption (the log cannot be trusted past it).
+
+Appends are written through an unbuffered file descriptor and fsynced
+before :meth:`append` returns — when the caller regains control, the
+record is durable.  All physical I/O goes through the pluggable
+:class:`~repro.bang.faults.FaultInjector` so tests can tear frames and
+kill the process mid-append deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import List, Optional, Tuple
+
+from ..errors import WalError
+from .faults import NULL_FAULTS, FaultInjector
+
+WAL_MAGIC = b"WA"
+_FRAME = struct.Struct(">2sQII")  # magic, lsn, payload length, crc32
+
+#: Refuse to trust absurd lengths (a corrupt frame could otherwise ask
+#: recovery to allocate gigabytes).
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed record log over one file."""
+
+    def __init__(self, path: str, faults: Optional[FaultInjector] = None):
+        self.path = path
+        self.faults = faults or NULL_FAULTS
+        self._f = open(path, "a+b", buffering=0)
+        self._end = os.path.getsize(path)
+        self.next_lsn = 0          # fixed up by scan() / truncate()
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.syncs = 0
+        self.truncations = 0
+
+    # ----------------------------------------------------------------- write
+
+    def append(self, payload: bytes) -> int:
+        """Durably append one record; returns its LSN.
+
+        The frame is written in two physical writes with the
+        ``wal.append.mid`` crash point between them, so a fault plan can
+        leave a genuinely torn frame on disc.  The file is fsynced
+        before returning (``wal.append.synced`` fires after the sync).
+        """
+        if len(payload) > MAX_RECORD_BYTES:
+            raise WalError(
+                f"{self.path}: record of {len(payload)} bytes exceeds "
+                f"MAX_RECORD_BYTES ({MAX_RECORD_BYTES})")
+        lsn = self.next_lsn
+        frame = _FRAME.pack(WAL_MAGIC, lsn, len(payload),
+                            zlib.crc32(payload)) + payload
+        self.faults.crash_point("wal.append.before")
+        split = _FRAME.size // 2
+        self.faults.write(self._f, frame[:split])
+        self.faults.crash_point("wal.append.mid")
+        self.faults.write(self._f, frame[split:])
+        os.fsync(self._f.fileno())
+        self.syncs += 1
+        self.faults.crash_point("wal.append.synced")
+        self._end += len(frame)
+        self.next_lsn = lsn + 1
+        self.records_appended += 1
+        self.bytes_appended += len(frame)
+        return lsn
+
+    # ------------------------------------------------------------------ read
+
+    def scan(self) -> Tuple[List[bytes], bool, int]:
+        """All committed record payloads, in append order.
+
+        Returns ``(payloads, torn_tail, good_end)`` where *torn_tail*
+        is true when trailing bytes after the last committed frame were
+        found (crash mid-append) and *good_end* is the file offset just
+        past the last committed frame.  Also positions :attr:`next_lsn`
+        after the last committed record, so subsequent appends continue
+        the sequence.
+        """
+        payloads: List[bytes] = []
+        offset = 0
+        torn = False
+        size = os.path.getsize(self.path)
+        self._f.seek(0)
+        expected_lsn = 0
+        while offset + _FRAME.size <= size:
+            header = self.faults.read(self._f, _FRAME.size)
+            if len(header) < _FRAME.size:
+                torn = True
+                break
+            magic, lsn, length, crc = _FRAME.unpack(header)
+            if (magic != WAL_MAGIC or lsn != expected_lsn
+                    or length > MAX_RECORD_BYTES
+                    or offset + _FRAME.size + length > size):
+                torn = True
+                break
+            payload = self.faults.read(self._f, length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                torn = True
+                break
+            payloads.append(payload)
+            offset += _FRAME.size + length
+            expected_lsn += 1
+        if not torn and offset != size:
+            torn = True  # trailing garbage shorter than a header
+        self.next_lsn = expected_lsn
+        return payloads, torn, offset
+
+    # ----------------------------------------------------------- maintenance
+
+    def truncate_to(self, offset: int) -> None:
+        """Physically drop everything past *offset* (torn-tail repair),
+        so later appends never sit behind unreadable garbage."""
+        self._f.truncate(offset)
+        os.fsync(self._f.fileno())
+        self.syncs += 1
+        self._end = offset
+
+    def truncate(self) -> None:
+        """Reset the log to empty (after a successful checkpoint)."""
+        self._f.truncate(0)
+        os.fsync(self._f.fileno())
+        self.syncs += 1
+        self._end = 0
+        self.next_lsn = 0
+        self.truncations += 1
+
+    def close(self) -> None:
+        if self._f is not None:
+            self._f.close()
+            self._f = None
+
+    def counters(self) -> dict:
+        return {
+            "wal_records_appended": self.records_appended,
+            "wal_bytes_appended": self.bytes_appended,
+            "wal_truncations": self.truncations,
+        }

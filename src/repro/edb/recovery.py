@@ -1,0 +1,106 @@
+"""Crash-recovery reporting for the durable EDB.
+
+:meth:`repro.edb.store.ExternalStore.open` reconstructs the last
+committed database state from the checkpoint + write-ahead log and
+sweeps the pages file for corruption.  Everything it did — and
+everything it *refused* to trust — is summarised in a
+:class:`RecoveryReport`, attached to the store as ``store.recovery``
+and surfaced by the REPL's ``:open``.
+
+The report is deliberately loud about partial outcomes: a torn WAL
+tail, stale-era records skipped after an interrupted checkpoint, and
+quarantined pages are normal consequences of crashes, but the operator
+should see them, not discover them later as a missing clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`ExternalStore.open` found and did."""
+
+    path: str
+    #: a fresh EDB was created (nothing existed at *path*)
+    created: bool = False
+    #: bytes of checkpoint payload loaded
+    checkpoint_bytes: int = 0
+    #: committed WAL records found in the log
+    wal_records_seen: int = 0
+    #: records replayed onto the checkpoint (current era)
+    wal_records_replayed: int = 0
+    #: records skipped because they predate the loaded checkpoint
+    #: (a crash landed between checkpoint rename and log reset)
+    wal_records_stale: int = 0
+    #: the log ended in a torn/corrupt frame that was truncated away
+    wal_torn_tail: bool = False
+    #: replayed operations by kind (``{"assert_rule": 2, ...}``)
+    ops_replayed: Dict[str, int] = field(default_factory=dict)
+    #: pages validated during the recovery sweep
+    pages_scanned: int = 0
+    #: page ids quarantined (CRC/frame/payload corruption)
+    pages_quarantined: List[int] = field(default_factory=list)
+    #: non-fatal problems encountered (replay stopped at the first)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when recovery found nothing abnormal: no torn tail, no
+        corrupt pages, no replay errors.  Replayed records themselves
+        are normal (they just mean the last session did not checkpoint
+        before exiting)."""
+        return (not self.wal_torn_tail and not self.pages_quarantined
+                and not self.errors)
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "created": self.created,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "wal_records_seen": self.wal_records_seen,
+            "wal_records_replayed": self.wal_records_replayed,
+            "wal_records_stale": self.wal_records_stale,
+            "wal_torn_tail": self.wal_torn_tail,
+            "ops_replayed": dict(self.ops_replayed),
+            "pages_scanned": self.pages_scanned,
+            "pages_quarantined": list(self.pages_quarantined),
+            "errors": list(self.errors),
+            "clean": self.clean,
+        }
+
+    def format(self) -> str:
+        """Multi-line human-readable summary (REPL ``:open``)."""
+        lines = [f"recovery: {self.path}"]
+        if self.created:
+            lines.append("  created a fresh EDB (no checkpoint found)")
+            return "\n".join(lines)
+        lines.append(f"  checkpoint: {self.checkpoint_bytes} bytes, "
+                     f"{self.pages_scanned} pages verified")
+        if self.wal_records_seen or self.wal_torn_tail:
+            bits = [f"{self.wal_records_replayed} replayed"]
+            if self.wal_records_stale:
+                bits.append(f"{self.wal_records_stale} stale (skipped)")
+            if self.wal_torn_tail:
+                bits.append("torn tail truncated")
+            lines.append(f"  wal: {self.wal_records_seen} records — "
+                         + ", ".join(bits))
+            if self.ops_replayed:
+                ops = "  ".join(f"{k}={v}"
+                                for k, v in sorted(self.ops_replayed.items()))
+                lines.append(f"    by op: {ops}")
+        else:
+            lines.append("  wal: empty")
+        if self.pages_quarantined:
+            shown = ", ".join(str(p) for p in self.pages_quarantined[:16])
+            more = len(self.pages_quarantined) - 16
+            lines.append(
+                f"  QUARANTINED {len(self.pages_quarantined)} corrupt "
+                f"page(s): {shown}" + (f" (+{more} more)" if more > 0 else ""))
+        for err in self.errors:
+            lines.append(f"  ERROR: {err}")
+        lines.append("  state: " + ("clean" if self.clean else
+                                    "recovered with findings above"))
+        return "\n".join(lines)

@@ -17,21 +17,81 @@ Implements the four structures of §4:
 ``code`` is false and only atomic formats are allowed — stored here in
 *facts mode*, giving the relational engine direct set-at-a-time access
 while the inference engine sees them as procedures.
+
+Durability (docs/DURABILITY.md)
+-------------------------------
+
+The paper's central asset is compiled code *persisted across sessions*
+(§3.1) — relative addresses exist precisely so a different session can
+reopen the database — so persistence here is crash-safe, not a bare
+``pickle.dump``:
+
+* **Checkpoints** (:meth:`ExternalStore.save`) are atomic: the store is
+  serialised behind a versioned, checksummed header, written to a temp
+  file, fsynced, and renamed over the target.  A reader sees either the
+  old checkpoint or the new one, never a torn hybrid, and
+  :meth:`ExternalStore.load` rejects damaged files with a
+  :class:`~repro.errors.CatalogError` that names the path and the exact
+  failure (magic / version / truncation / CRC).
+* **Write-ahead log**: once a store has a durable home, every mutating
+  operation appends a logical redo record (already-compiled payloads —
+  no recompilation at recovery) to ``<path>.wal`` before returning.
+  Records are tagged with the checkpoint *era* so a crash between
+  checkpoint rename and log reset can never double-apply old records.
+* **Recovery** (:meth:`ExternalStore.open`) loads the checkpoint,
+  sweeps the pages for corruption (quarantining bad pages instead of
+  returning garbage), replays the committed current-era log records,
+  truncates any torn log tail, and reports everything in a
+  :class:`~repro.edb.recovery.RecoveryReport` (``store.recovery``).
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import struct
+import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..bang.catalog import AttributeSpec, Catalog, RelationSchema
-from ..bang.pager import Pager
+from ..bang.faults import NULL_FAULTS, FaultInjector
+from ..bang.pager import FileDiskStore, Pager
 from ..bang.relation import BangRelation
-from ..errors import CatalogError, ExistenceError, TypeError_
+from ..bang.wal import WriteAheadLog
+from ..errors import CatalogError, ExistenceError, ReproError, TypeError_
+from ..obs.tracing import NULL_TRACER
 from ..terms import Atom, Struct, Term, Var, deref
 from ..wam.compiler import ClauseCompiler, CompileContext, split_clause
 from .codec import encode_code, measure_code
 from .external_dict import ExternalDictionary
+from .recovery import RecoveryReport
+
+# Checkpoint file header:
+#   magic "EDB*" | format version u16 | flags u16 | payload length u64 |
+#   payload crc32 u32 | pickled ExternalStore
+CHECKPOINT_MAGIC = b"EDB*"
+CHECKPOINT_VERSION = 1
+_CKPT_HEADER = struct.Struct(">4sHHQI")
+
+
+def _pages_path(checkpoint_path: str, epoch: int) -> str:
+    """Sidecar pages file for a checkpoint (relocates with it)."""
+    return f"{checkpoint_path}.pages.{epoch:08d}"
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync the directory so a rename survives power loss (POSIX)."""
+    try:
+        fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fsync
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def summarize_arg(term: Term) -> tuple:
@@ -110,6 +170,49 @@ class ExternalStore:
         self.code_bytes_stored = 0
         self.source_bytes_stored = 0
 
+        # --- durability state (docs/DURABILITY.md) -----------------------
+        #: checkpoint path this store is homed at (None: in-memory only)
+        self._home: Optional[str] = None
+        #: live write-ahead log (attached on save/open)
+        self.wal: Optional[WriteAheadLog] = None
+        #: checkpoint era: bumped by every save; WAL records carry the
+        #: era they were logged under, so recovery can never replay
+        #: records that predate the checkpoint it loaded
+        self.wal_era = 0
+        self.faults: FaultInjector = NULL_FAULTS
+        #: RecoveryReport from the ExternalStore.open that produced this
+        #: store (None for fresh in-memory stores)
+        self.recovery: Optional[RecoveryReport] = None
+        # cumulative durability counters (merged into io_counters)
+        self.wal_records_appended = 0
+        self.wal_bytes_appended = 0
+        self.wal_records_replayed = 0
+        self.wal_records_skipped = 0
+        self.checkpoints_written = 0
+        self.checkpoint_bytes_written = 0
+
+    # The WAL handle, fault plan and recovery report belong to the live
+    # session, not the persisted image.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["wal"] = None
+        state["faults"] = None
+        state["recovery"] = None
+        state["_home"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.faults is None:
+            self.faults = NULL_FAULTS
+        # Durability counters are session-scoped, like tracer spans: a
+        # freshly loaded store reports work *it* did, not history baked
+        # into the checkpoint it came from.
+        for key in ("wal_records_appended", "wal_bytes_appended",
+                    "wal_records_replayed", "wal_records_skipped",
+                    "checkpoints_written", "checkpoint_bytes_written"):
+            setattr(self, key, 0)
+
     # ------------------------------------------------------------- metadata
 
     def lookup(self, name: str, arity: int) -> Optional[StoredProcedure]:
@@ -152,29 +255,44 @@ class ExternalStore:
             define_procedure=lambda n, a, c: aux_sink.append((n, a, c)))
         compiler = ClauseCompiler(store_ctx)
 
-        relation = self.catalog.create(self._proc_relation_schema(name, arity))
-        proc = StoredProcedure(name, arity, "rules", relation)
-        self._register(proc)
-
-        for cid, clause in enumerate(clauses):
+        payloads: List[dict] = []
+        for clause in clauses:
             compiled = compiler.compile_clause(clause)
             head, body = split_clause(clause)
             head_args = head.args if isinstance(head, Struct) else ()
-            summaries = tuple(summarize_arg(a) for a in head_args)
-            row = summaries + (cid, 1)
-            relation.insert(row)
             relative = encode_code(compiled.code, context.dictionary,
                                    self.external_dict)
-            self.code_bytes_stored += measure_code(relative)
-            # The payload rides as a non-key attribute: it is pickled
-            # with its page, so code size and transfer are page-accounted.
-            self.clauses_relation.insert((proc.key, cid, StoredClause(
-                clause_id=cid, relative_code=relative,
-                summaries=summaries, has_body=bool(body))))
-        proc.nclauses = len(clauses)
+            payloads.append({
+                "code": relative,
+                "summaries": tuple(summarize_arg(a) for a in head_args),
+                "has_body": bool(body),
+            })
+        proc = self._apply_rules(name, arity, payloads)
+        self._log({"op": "rules", "name": name, "arity": arity,
+                   "clauses": payloads,
+                   "ext": self._ext_functors(p["code"] for p in payloads)})
 
         for aux_name, aux_arity, aux_clauses in aux_sink:
             self.store_rules(aux_name, aux_arity, aux_clauses, context)
+        return proc
+
+    def _apply_rules(self, name: str, arity: int,
+                     payloads: Sequence[dict]) -> StoredProcedure:
+        """Install already-compiled rule clauses (store path and WAL
+        replay share this — recovery never recompiles)."""
+        relation = self.catalog.create(self._proc_relation_schema(name, arity))
+        proc = StoredProcedure(name, arity, "rules", relation)
+        self._register(proc)
+        for cid, payload in enumerate(payloads):
+            summaries = tuple(payload["summaries"])
+            relation.insert(summaries + (cid, 1))
+            self.code_bytes_stored += measure_code(payload["code"])
+            # The payload rides as a non-key attribute: it is pickled
+            # with its page, so code size and transfer are page-accounted.
+            self.clauses_relation.insert((proc.key, cid, StoredClause(
+                clause_id=cid, relative_code=payload["code"],
+                summaries=summaries, has_body=payload["has_body"])))
+        proc.nclauses = len(payloads)
         return proc
 
     def fetch_clauses(self, name: str, arity: int,
@@ -214,6 +332,17 @@ class ExternalStore:
         (default: all — full partial-match clustering)."""
         if types is None:
             types = _infer_types(rows, arity)
+        rows = [tuple(row) for row in rows]
+        key_dims = list(key_dims) if key_dims is not None else None
+        proc = self._apply_facts(name, arity, rows, list(types), key_dims)
+        self._log({"op": "facts", "name": name, "arity": arity,
+                   "rows": rows, "types": list(types),
+                   "key_dims": key_dims})
+        return proc
+
+    def _apply_facts(self, name: str, arity: int, rows: Sequence[tuple],
+                     types: Sequence[str],
+                     key_dims: Optional[Sequence[int]]) -> StoredProcedure:
         attrs = [AttributeSpec(f"arg{i + 1}", t)
                  for i, t in enumerate(types)]
         schema = RelationSchema(f"$p${name}/{arity}", attrs,
@@ -247,20 +376,34 @@ class ExternalStore:
         """Store rules as *source text* — the Educe predecessor's scheme
         (§2.3), kept as the baseline the paper measures against."""
         from ..lang.writer import format_clause
+        payloads: List[dict] = []
+        for clause in clauses:
+            head, body = split_clause(clause)
+            head_args = head.args if isinstance(head, Struct) else ()
+            payloads.append({
+                "source": format_clause(clause),
+                "summaries": tuple(summarize_arg(a) for a in head_args),
+                "has_body": bool(body),
+            })
+        proc = self._apply_source(name, arity, payloads)
+        self._log({"op": "source", "name": name, "arity": arity,
+                   "clauses": payloads})
+        return proc
+
+    def _apply_source(self, name: str, arity: int,
+                      payloads: Sequence[dict]) -> StoredProcedure:
         relation = self.catalog.create(self._proc_relation_schema(name, arity))
         proc = StoredProcedure(name, arity, "source", relation)
         self._register(proc)
-        for cid, clause in enumerate(clauses):
-            head, body = split_clause(clause)
-            head_args = head.args if isinstance(head, Struct) else ()
-            summaries = tuple(summarize_arg(a) for a in head_args)
+        for cid, payload in enumerate(payloads):
+            summaries = tuple(payload["summaries"])
             relation.insert(summaries + (cid, 0))
-            text = format_clause(clause)
-            self.source_bytes_stored += len(text)
+            self.source_bytes_stored += len(payload["source"])
             self.clauses_relation.insert((proc.key, cid, StoredClause(
                 clause_id=cid, relative_code=[],
-                summaries=summaries, has_body=bool(body), source=text)))
-        proc.nclauses = len(clauses)
+                summaries=summaries, has_body=payload["has_body"],
+                source=payload["source"])))
+        proc.nclauses = len(payloads)
         return proc
 
     # -------------------------------------------------------------- updates
@@ -272,70 +415,374 @@ class ExternalStore:
         if proc.mode == "facts":
             head, _ = split_clause(clause)
             values = _fact_values(head)
-            proc.relation.insert(values)
-            proc.nclauses += 1
-            proc.version += 1
+            self._apply_assert_fact(name, arity, values)
+            self._log({"op": "assert_fact", "name": name, "arity": arity,
+                       "values": values})
             return
         compiler = ClauseCompiler(context)
         compiled = compiler.compile_clause(clause)
         head, body = split_clause(clause)
         head_args = head.args if isinstance(head, Struct) else ()
-        summaries = tuple(summarize_arg(a) for a in head_args)
+        relative = encode_code(compiled.code, context.dictionary,
+                               self.external_dict)
+        payload = {
+            "code": relative,
+            "summaries": tuple(summarize_arg(a) for a in head_args),
+            "has_body": bool(body),
+        }
+        self._apply_assert_rule(name, arity, payload)
+        self._log({"op": "assert_rule", "name": name, "arity": arity,
+                   "clause": payload,
+                   "ext": self._ext_functors([payload["code"]])})
+
+    def _apply_assert_fact(self, name: str, arity: int,
+                           values: tuple) -> None:
+        proc = self.get(name, arity)
+        proc.relation.insert(values)
+        proc.nclauses += 1
+        proc.version += 1
+
+    def _apply_assert_rule(self, name: str, arity: int,
+                           payload: dict) -> None:
+        proc = self.get(name, arity)
+        summaries = tuple(payload["summaries"])
         existing = [
             row[1] for row in self.clauses_relation.query({0: proc.key})
         ]
         cid = max(existing, default=-1) + 1
         proc.relation.insert(summaries + (cid, 1))
-        relative = encode_code(compiled.code, context.dictionary,
-                               self.external_dict)
-        self.code_bytes_stored += measure_code(relative)
+        self.code_bytes_stored += measure_code(payload["code"])
         self.clauses_relation.insert((proc.key, cid, StoredClause(
-            clause_id=cid, relative_code=relative,
-            summaries=summaries, has_body=bool(body))))
+            clause_id=cid, relative_code=payload["code"],
+            summaries=summaries, has_body=payload["has_body"])))
         proc.nclauses += 1
         proc.version += 1
 
     def retract_clause(self, name: str, arity: int, clause_id: int) -> None:
+        self._apply_retract(name, arity, clause_id)
+        self._log({"op": "retract", "name": name, "arity": arity,
+                   "clause_id": clause_id})
+
+    def _apply_retract(self, name: str, arity: int, clause_id: int) -> None:
         proc = self.get(name, arity)
         proc.relation.delete_where({proc.arity: clause_id})
         self.clauses_relation.delete_where({0: proc.key, 1: clause_id})
         proc.nclauses -= 1
         proc.version += 1
 
+    # ------------------------------------------------------ write-ahead log
+
+    def _log(self, record: dict) -> None:
+        """Durably append one redo record (no-op without a WAL home).
+
+        Called *after* the in-memory/page mutation succeeded: operations
+        are atomic at record granularity — a crash before the append
+        simply loses the whole operation, never half of it.
+        """
+        if self.wal is None:
+            return
+        record["era"] = self.wal_era
+        payload = pickle.dumps(record, protocol=4)
+        self.wal.append(payload)
+        self.wal_records_appended += 1
+        self.wal_bytes_appended += len(payload)
+
+    def _ext_functors(self, codes) -> List[Tuple[str, int]]:
+        """(name, arity) of every external-dictionary reference in the
+        given relative-code blocks; logged with the record so replay can
+        re-intern them even when the checkpoint predates them."""
+        refs: set = set()
+        for code in codes:
+            _collect_ext_refs(code, refs)
+        out = []
+        for ext_id in sorted(refs):
+            out.append(self.external_dict.resolve(ext_id))
+        return out
+
+    def _replay(self, record: dict) -> None:
+        """Re-apply one committed WAL record (recovery path)."""
+        op = record.get("op")
+        for name, arity in record.get("ext", ()):
+            self.external_dict.intern(name, arity)
+        if op == "rules":
+            self._apply_rules(record["name"], record["arity"],
+                              record["clauses"])
+        elif op == "source":
+            self._apply_source(record["name"], record["arity"],
+                               record["clauses"])
+        elif op == "facts":
+            self._apply_facts(record["name"], record["arity"],
+                              record["rows"], record["types"],
+                              record["key_dims"])
+        elif op == "assert_rule":
+            self._apply_assert_rule(record["name"], record["arity"],
+                                    record["clause"])
+        elif op == "assert_fact":
+            self._apply_assert_fact(record["name"], record["arity"],
+                                    tuple(record["values"]))
+        elif op == "retract":
+            self._apply_retract(record["name"], record["arity"],
+                                record["clause_id"])
+        else:
+            raise CatalogError(f"unknown WAL record op {op!r}")
+
     # ----------------------------------------------------------- persistence
 
     def save(self, path: str) -> None:
-        """Persist the whole EDB to *path*.
+        """Atomically checkpoint the whole EDB to *path*.
 
         This is what relative addresses buy (§3.1): the stored clause
         code references the external dictionary only, so a *different*
         session — with a fresh internal dictionary whose identifiers
         bear no relation to this one's — can load the file and run the
         code after plain address resolution.
+
+        The checkpoint is crash-safe: serialised behind a versioned,
+        checksummed header into ``path + ".tmp"``, fsynced, then renamed
+        over *path*.  File-backed stores first compact their pages into
+        a fresh epoch sidecar (``path + ".pages.NNNNNNNN"``).  On
+        success the store is *homed* at *path*: a fresh WAL generation
+        starts and subsequent mutations are logged for replay.
         """
-        import pickle
         self.pager.flush()
-        with open(path, "wb") as f:
-            pickle.dump(self, f, protocol=4)
+        disk = self.pager.disk
+        faults = self.faults
+        prev_home = self._home
+        self.wal_era += 1
+        old_pages_path = None
+        if isinstance(disk, FileDiskStore):
+            old_pages_path = disk.path
+            new_epoch = disk.epoch + 1
+            disk.compact_to(_pages_path(path, new_epoch), new_epoch)
+
+        payload = pickle.dumps(self, protocol=4)
+        header = _CKPT_HEADER.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION, 0,
+                                   len(payload), zlib.crc32(payload))
+        tmp = path + ".tmp"
+        with open(tmp, "wb", buffering=0) as f:
+            half = len(payload) // 2
+            faults.write(f, header)
+            faults.write(f, payload[:half])
+            faults.crash_point("checkpoint.write.mid")
+            faults.write(f, payload[half:])
+            os.fsync(f.fileno())
+        faults.crash_point("checkpoint.pre_rename")
+        os.replace(tmp, path)
+        faults.crash_point("checkpoint.post_rename")
+        _fsync_dir(os.path.dirname(os.path.abspath(path)))
+
+        # The checkpoint is durable: start a fresh log generation.  (If
+        # we crash before the reset, the era tag already fences the old
+        # records off — recovery skips them as stale.)
+        wal_path = path + ".wal"
+        if self.wal is not None and self.wal.path != wal_path:
+            self.wal.close()
+            self.wal = None
+        if self.wal is None:
+            self.wal = WriteAheadLog(wal_path, faults=faults)
+        self.wal.truncate()
+        # Drop the superseded epoch sidecar — but only when it belongs
+        # to *this* checkpoint base.  After a save-as to a new path, the
+        # old home's checkpoint still references its own pages file.
+        if (old_pages_path is not None
+                and old_pages_path.startswith(path + ".pages.")
+                and old_pages_path != disk.path):
+            try:
+                os.remove(old_pages_path)
+            except OSError:
+                pass
+        self._home = path
+        self.checkpoints_written += 1
+        self.checkpoint_bytes_written += len(header) + len(payload)
 
     @staticmethod
     def load(path: str) -> "ExternalStore":
-        """Reopen a saved EDB."""
-        import pickle
-        with open(path, "rb") as f:
-            store = pickle.load(f)
+        """Reopen a saved EDB checkpoint (no WAL replay — use
+        :meth:`open` for full crash recovery).
+
+        Rejects anything that is not a healthy checkpoint with a
+        :class:`~repro.errors.CatalogError` naming the path and the
+        failure: bad magic, unsupported version, truncation, checksum
+        mismatch, or an undecodable payload.
+        """
+        try:
+            with open(path, "rb") as f:
+                blob = f.read()
+        except FileNotFoundError:
+            raise CatalogError(f"{path}: no such EDB checkpoint") from None
+        if len(blob) < _CKPT_HEADER.size:
+            raise CatalogError(
+                f"{path}: not a saved EDB (file shorter than the "
+                f"{_CKPT_HEADER.size}-byte checkpoint header)")
+        magic, version, _flags, length, crc = _CKPT_HEADER.unpack(
+            blob[:_CKPT_HEADER.size])
+        if magic != CHECKPOINT_MAGIC:
+            raise CatalogError(
+                f"{path}: not a saved EDB (bad magic {magic!r})")
+        if version != CHECKPOINT_VERSION:
+            raise CatalogError(
+                f"{path}: unsupported EDB checkpoint version {version} "
+                f"(this build reads version {CHECKPOINT_VERSION})")
+        payload = blob[_CKPT_HEADER.size:]
+        if len(payload) != length:
+            raise CatalogError(
+                f"{path}: truncated EDB checkpoint "
+                f"({len(payload)} of {length} payload bytes)")
+        computed = zlib.crc32(payload)
+        if computed != crc:
+            raise CatalogError(
+                f"{path}: EDB checkpoint checksum mismatch "
+                f"(stored {crc:#010x}, computed {computed:#010x})")
+        try:
+            store = pickle.loads(payload)
+        except Exception as exc:
+            raise CatalogError(
+                f"{path}: undecodable EDB checkpoint payload "
+                f"({type(exc).__name__}: {exc})") from exc
         if not isinstance(store, ExternalStore):
             raise CatalogError(f"{path} is not a saved EDB")
+        disk = store.pager.disk
+        if isinstance(disk, FileDiskStore):
+            pages = _pages_path(path, disk.epoch)
+            if not os.path.exists(pages):
+                raise CatalogError(
+                    f"{path}: missing pages sidecar {pages}")
+            disk.reattach(pages)
         return store
+
+    @classmethod
+    def open(cls, path: str, *, create: bool = True,
+             faults: Optional[FaultInjector] = None,
+             tracer=None, verify_pages: bool = True) -> "ExternalStore":
+        """Open a durable EDB at *path*, performing crash recovery.
+
+        * no file and ``create=True`` → a fresh file-backed
+          (:class:`~repro.bang.pager.FileDiskStore`) EDB with an initial
+          checkpoint and an empty WAL;
+        * otherwise → load the checkpoint, verify every page
+          (quarantining corrupt ones), replay the committed current-era
+          WAL records, and truncate any torn log tail.
+
+        The resulting store carries a
+        :class:`~repro.edb.recovery.RecoveryReport` in ``.recovery``.
+        """
+        faults = faults or NULL_FAULTS
+        tracer = tracer or NULL_TRACER
+        if not os.path.exists(path):
+            if not create:
+                raise CatalogError(
+                    f"{path}: no such EDB (and create=False)")
+            disk = FileDiskStore(_pages_path(path, 1), faults=faults)
+            store = cls(pager=Pager(disk=disk))
+            store.faults = faults
+            store.save(path)
+            store.recovery = RecoveryReport(path=path, created=True)
+            return store
+
+        store = cls.load(path)
+        store.faults = faults
+        disk = store.pager.disk
+        if isinstance(disk, FileDiskStore):
+            disk.faults = faults
+        report = RecoveryReport(path=path)
+        report.checkpoint_bytes = max(
+            0, os.path.getsize(path) - _CKPT_HEADER.size)
+        with tracer.span("recovery", path=path):
+            if verify_pages:
+                report.pages_scanned = disk.page_count
+                report.pages_quarantined = disk.verify_all()
+            wal = WriteAheadLog(path + ".wal", faults=faults)
+            records, torn, good_end = wal.scan()
+            report.wal_records_seen = len(records)
+            report.wal_torn_tail = torn
+            if torn:
+                # Drop the uncommitted tail so future appends never sit
+                # behind unreadable garbage.
+                wal.truncate_to(good_end)
+            for payload in records:
+                try:
+                    record = pickle.loads(payload)
+                except Exception as exc:
+                    report.errors.append(
+                        f"undecodable WAL record ({type(exc).__name__}: "
+                        f"{exc}); replay stopped")
+                    break
+                if record.get("era") != store.wal_era:
+                    report.wal_records_stale += 1
+                    store.wal_records_skipped += 1
+                    continue
+                op = str(record.get("op"))
+                try:
+                    store._replay(record)
+                except ReproError as exc:
+                    report.errors.append(
+                        f"replay of {op!r} failed ({exc}); replay stopped")
+                    break
+                report.ops_replayed[op] = report.ops_replayed.get(op, 0) + 1
+                report.wal_records_replayed += 1
+                store.wal_records_replayed += 1
+                if tracer.enabled:
+                    tracer.event("wal.replay", op=op)
+            store.wal = wal
+            store._home = path
+        cls._clean_leftovers(path, disk)
+        store.recovery = report
+        return store
+
+    @staticmethod
+    def _clean_leftovers(path: str, disk) -> None:
+        """Remove debris from interrupted checkpoints: the temp file and
+        pages sidecars from epochs the loaded checkpoint does not use."""
+        try:
+            if os.path.exists(path + ".tmp"):
+                os.remove(path + ".tmp")
+            if isinstance(disk, FileDiskStore):
+                directory = os.path.dirname(os.path.abspath(path))
+                prefix = os.path.basename(path) + ".pages."
+                for entry in os.listdir(directory):
+                    if not entry.startswith(prefix):
+                        continue
+                    full = os.path.join(directory, entry)
+                    if os.path.abspath(full) != os.path.abspath(disk.path):
+                        os.remove(full)
+        except OSError:
+            pass
 
     # ------------------------------------------------------------- counters
 
     def io_counters(self) -> dict:
-        return self.pager.io_counters()
+        counters = self.pager.io_counters()
+        counters.update({
+            "wal_records_appended": self.wal_records_appended,
+            "wal_bytes_appended": self.wal_bytes_appended,
+            "wal_records_replayed": self.wal_records_replayed,
+            "wal_records_skipped": self.wal_records_skipped,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_bytes_written": self.checkpoint_bytes_written,
+        })
+        return counters
 
     def reset_counters(self) -> None:
         self.pager.reset_counters()
 
+
+def _collect_ext_refs(obj: Any, acc: set) -> None:
+    """Accumulate every ``("ext", hash)`` marker in a relative-code
+    structure (instruction tuples, switch tables, nested constants)."""
+    if isinstance(obj, tuple):
+        if (len(obj) == 2 and obj[0] == "ext"
+                and isinstance(obj[1], int)):
+            acc.add(obj[1])
+            return
+        for item in obj:
+            _collect_ext_refs(item, acc)
+    elif isinstance(obj, list):
+        for item in obj:
+            _collect_ext_refs(item, acc)
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            _collect_ext_refs(key, acc)
+            _collect_ext_refs(value, acc)
 
 
 def _infer_types(rows: Sequence[tuple], arity: int) -> List[str]:

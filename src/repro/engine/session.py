@@ -223,9 +223,24 @@ class EduceStar:
         self.store.save(path)
 
     @classmethod
-    def open(cls, path: str, **kwargs) -> "EduceStar":
-        """A fresh session over a previously saved EDB."""
-        return cls(store=ExternalStore.load(path), **kwargs)
+    def open(cls, path: str, faults=None, **kwargs) -> "EduceStar":
+        """A fresh session over a previously saved EDB.
+
+        Runs crash recovery (WAL replay + page verification); the
+        outcome is on ``session.store.recovery``.  ``faults`` optionally
+        arms a :class:`~repro.bang.faults.FaultInjector` on the opened
+        store's I/O paths (tests).
+        """
+        store = ExternalStore.open(path, create=False, faults=faults)
+        return cls(store=store, **kwargs)
+
+    @classmethod
+    def create(cls, path: str, faults=None, **kwargs) -> "EduceStar":
+        """A durable file-backed session: pages in ``path``'s sidecar
+        file, mutations write-ahead logged, checkpoint on :meth:`save`.
+        Opens an existing EDB at *path* if one is already there."""
+        store = ExternalStore.open(path, create=True, faults=faults)
+        return cls(store=store, **kwargs)
 
     # ----------------------------------------------------------- EDB wiring
 

@@ -90,3 +90,9 @@ class CatalogError(StorageError):
 
 class CodecError(StorageError):
     """The relative-address code serialisation is malformed."""
+
+
+class WalError(StorageError):
+    """The write-ahead log refused an operation (oversized record,
+    detached file).  Corrupt/torn frames are *not* errors: recovery
+    treats them as the uncommitted tail and truncates them."""

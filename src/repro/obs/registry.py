@@ -34,7 +34,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 #: Gauge keys exposed by the built-in sources (levels, not event counts).
 #: Attach-time ``gauges=`` extends this per source; see the glossary.
 DEFAULT_GAUGE_KEYS = frozenset({
-    "pages", "buffer_resident", "heap_high_water",
+    "pages", "buffer_resident", "heap_high_water", "pages_quarantined",
 })
 
 

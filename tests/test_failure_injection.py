@@ -15,7 +15,11 @@ class TestDiskCorruption:
         pid = disk.allocate()
         disk.write(pid, ["good"])
         disk._pages[pid] = b"\x00garbage that is not pickle"
-        with pytest.raises(Exception):
+        with pytest.raises(PageError):
+            disk.read(pid)
+        # detection quarantines the page: later reads fail fast too
+        assert pid in disk.quarantined
+        with pytest.raises(PageError):
             disk.read(pid)
 
     def test_truncated_pickle_raises(self):
@@ -23,8 +27,11 @@ class TestDiskCorruption:
         pid = disk.allocate()
         disk.write(pid, list(range(100)))
         disk._pages[pid] = disk._pages[pid][:10]
-        with pytest.raises(Exception):
+        with pytest.raises(PageError):
             disk.read(pid)
+        # a full rewrite replaces the image and lifts the quarantine
+        disk.write(pid, ["fresh"])
+        assert disk.read(pid) == ["fresh"]
 
     def test_missing_page_after_free(self):
         pager = Pager(buffer_pages=1)

@@ -36,6 +36,61 @@ class TestSessionSaveOpen:
         assert b.solve_once("t(1)") is not None
 
 
+class TestDurableSession:
+    """Session persistence through the file-backed (FileDiskStore)
+    storage path: WAL replay on reopen, corruption quarantine."""
+
+    def test_create_save_open_roundtrip(self, tmp_path):
+        path = str(tmp_path / "durable.edb")
+        a = EduceStar.create(path)
+        a.store_relation("fact", [(1,), (2,)])
+        a.store_program("doubled(Y) :- fact(X), Y is 2 * X.")
+        a.save(path)
+
+        b = EduceStar.open(path)
+        assert b.store.recovery is not None
+        assert b.store.recovery.clean
+        assert sorted(s["Y"] for s in b.solve("doubled(Y)")) == [2, 4]
+
+    def test_unsaved_mutations_replay_from_wal(self, tmp_path):
+        path = str(tmp_path / "durable.edb")
+        a = EduceStar.create(path)
+        a.store_program("color(red).")
+        a.save(path)
+        a.assert_external("color(green)")   # logged, never checkpointed
+
+        b = EduceStar.open(path)
+        assert b.store.recovery.wal_records_replayed == 1
+        assert sorted(str(s["X"]) for s in b.solve("color(X)")) \
+            == ["green", "red"]
+
+    def test_corrupt_page_quarantined_rest_queryable(self, tmp_path):
+        path = str(tmp_path / "durable.edb")
+        a = EduceStar.create(path)
+        a.store_relation("victim", [(i, i + 1) for i in range(50)])
+        a.store_relation("survivor", [(i,) for i in range(20)])
+        a.save(path)
+
+        # flip one payload byte of one written page record on disc
+        disk = a.store.pager.disk
+        victim_pid = next(p for p in sorted(disk._index)
+                          if disk._index[p] is not None)
+        offset, frame_len = disk._index[victim_pid]
+        with open(disk.path, "r+b") as f:
+            f.seek(offset + frame_len - 1)   # last payload byte
+            byte = f.read(1)
+            f.seek(offset + frame_len - 1)
+            f.write(bytes([byte[0] ^ 0x01]))
+
+        b = EduceStar.open(path)
+        report = b.store.recovery
+        assert report.pages_quarantined == [victim_pid]
+        assert not report.clean
+        assert "QUARANTINED" in report.format()
+        # the undamaged procedure answers queries as before
+        assert sum(1 for _ in b.solve("survivor(X)")) == 20
+
+
 class TestListing:
     def test_listing_dynamic_clauses(self, machine):
         machine.solve_once("assertz(p(1)), assertz((q(X) :- p(X)))")

@@ -1,0 +1,488 @@
+"""Crash-safety tests: WAL framing, atomic checkpoints, recovery.
+
+The deterministic :class:`~repro.bang.faults.FaultInjector` lets these
+tests kill the "process" at every interesting instant of a log append
+or checkpoint and then reopen the database exactly as a restarted
+server would.  The invariant under test throughout: reopening restores
+the last committed state, or replays the log to it — never silently
+wrong data.
+"""
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.bang.faults import (FaultInjector, InjectedCrash,
+                               InjectedIOError, NULL_FAULTS)
+from repro.bang.pager import FileDiskStore, Pager
+from repro.bang.wal import WriteAheadLog
+from repro.dictionary import SegmentedDictionary
+from repro.edb.store import (CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+                             _CKPT_HEADER, ExternalStore)
+from repro.errors import CatalogError, PageError, WalError
+from repro.lang.reader import read_term, read_terms
+from repro.wam.compiler import CompileContext
+
+
+@pytest.fixture
+def ctx():
+    return CompileContext(SegmentedDictionary(segment_capacity=1024))
+
+
+def seeded_store(path, ctx):
+    """A durable EDB at *path* with one facts and one rules procedure,
+    checkpointed."""
+    store = ExternalStore.open(path)
+    store.store_facts("edge", 2, [(1, 2), (2, 3)], types=("int", "int"))
+    store.store_rules(
+        "path", 2,
+        read_terms("path(X,Y) :- edge(X,Y). "
+                   "path(X,Z) :- edge(X,Y), path(Y,Z)."), ctx)
+    store.save(path)
+    return store
+
+
+def arm(store, faults):
+    """Plug one injector into every I/O path of a live store."""
+    store.faults = faults
+    store.pager.disk.faults = faults
+    if store.wal is not None:
+        store.wal.faults = faults
+    return faults
+
+
+def edge_rows(store):
+    return sorted(store.lookup("edge", 2).relation.scan())
+
+
+# ---------------------------------------------------------------- injector
+
+
+class TestFaultInjector:
+    def test_fail_nth_write_is_io_error(self, tmp_path):
+        f = open(tmp_path / "t", "wb", buffering=0)
+        faults = FaultInjector().arm_fail_write(2)
+        faults.write(f, b"one")
+        with pytest.raises(InjectedIOError):
+            faults.write(f, b"two")
+        faults.write(f, b"three")           # plan is one-shot
+        f.close()
+        assert (tmp_path / "t").read_bytes() == b"onethree"
+        assert faults.fired == ["fail_write#2"]
+
+    def test_torn_write_keeps_prefix_then_crashes(self, tmp_path):
+        f = open(tmp_path / "t", "wb", buffering=0)
+        faults = FaultInjector().arm_torn_write(1, keep=0.5)
+        with pytest.raises(InjectedCrash):
+            faults.write(f, b"abcdefgh")
+        f.close()
+        assert (tmp_path / "t").read_bytes() == b"abcd"
+
+    def test_bitflip_read_flips_exactly_one_bit(self, tmp_path):
+        (tmp_path / "t").write_bytes(b"\x00\x00")
+        f = open(tmp_path / "t", "rb")
+        faults = FaultInjector().arm_bitflip_read(1, bit=9)
+        assert faults.read(f, 2) == b"\x00\x02"
+        f.close()
+
+    def test_crash_point_skip_counts_hits(self):
+        faults = FaultInjector().arm_crash_point("cp", skip=2)
+        faults.crash_point("cp")
+        faults.crash_point("cp")
+        with pytest.raises(InjectedCrash):
+            faults.crash_point("cp")
+        faults.crash_point("cp")            # disarmed after firing
+
+    def test_null_faults_refuses_arming(self):
+        with pytest.raises(ValueError):
+            NULL_FAULTS.arm_crash_point("anything")
+
+
+# --------------------------------------------------------------------- WAL
+
+
+class TestWriteAheadLog:
+    def test_append_scan_roundtrip(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        payloads = [b"first", b"second", b"", b"fourth" * 100]
+        assert [wal.append(p) for p in payloads] == [0, 1, 2, 3]
+        wal.close()
+
+        wal2 = WriteAheadLog(path)
+        records, torn, good_end = wal2.scan()
+        assert records == payloads
+        assert not torn
+        assert good_end == os.path.getsize(path)
+        assert wal2.next_lsn == 4
+
+    def test_torn_append_truncated_then_log_reusable(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path, faults=FaultInjector())
+        wal.append(b"committed")
+        wal.faults.arm_crash_point("wal.append.mid")
+        with pytest.raises(InjectedCrash):
+            wal.append(b"torn away")
+        wal.close()
+
+        wal2 = WriteAheadLog(path)
+        records, torn, good_end = wal2.scan()
+        assert records == [b"committed"]
+        assert torn
+        wal2.truncate_to(good_end)
+        assert wal2.append(b"after repair") == 1
+        records, torn, _ = WriteAheadLog(path).scan()
+        assert records == [b"committed", b"after repair"] and not torn
+
+    def test_corrupt_frame_stops_scan(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(b"good record")
+        wal.append(b"soon corrupt")
+        wal.close()
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.seek(size - 1)
+            byte = f.read(1)
+            f.seek(size - 1)
+            f.write(bytes([byte[0] ^ 0x40]))
+        records, torn, _ = WriteAheadLog(path).scan()
+        assert records == [b"good record"]
+        assert torn
+
+    def test_trailing_garbage_reported_torn(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(b"fine")
+        wal.close()
+        with open(path, "ab") as f:
+            f.write(b"\x01\x02\x03")        # shorter than a header
+        records, torn, _ = WriteAheadLog(path).scan()
+        assert records == [b"fine"] and torn
+
+    def test_truncate_resets_lsn(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "log.wal"))
+        wal.append(b"x")
+        wal.append(b"y")
+        wal.truncate()
+        assert wal.next_lsn == 0
+        assert os.path.getsize(wal.path) == 0
+
+    def test_oversized_record_refused(self, tmp_path):
+        from repro.bang import wal as wal_mod
+        wal = WriteAheadLog(str(tmp_path / "log.wal"))
+        with pytest.raises(WalError):
+            wal.append(b"\x00" * (wal_mod.MAX_RECORD_BYTES + 1))
+
+
+# ----------------------------------------------------------- FileDiskStore
+
+
+class TestFileDiskStore:
+    def test_write_read_roundtrip(self, tmp_path):
+        disk = FileDiskStore(str(tmp_path / "pages"))
+        pid = disk.allocate()
+        disk.write(pid, {"rows": list(range(20))})
+        assert disk.read(pid) == {"rows": list(range(20))}
+
+    def test_rewrite_supersedes_and_read_sees_latest(self, tmp_path):
+        disk = FileDiskStore(str(tmp_path / "pages"))
+        pid = disk.allocate()
+        disk.write(pid, "v1")
+        disk.write(pid, "v2")
+        assert disk.read(pid) == "v2"
+
+    def test_bitflip_detected_and_quarantined(self, tmp_path):
+        faults = FaultInjector()
+        disk = FileDiskStore(str(tmp_path / "pages"), faults=faults)
+        pid = disk.allocate()
+        disk.write(pid, list(range(50)))
+        faults.arm_bitflip_read(1, bit=200)
+        with pytest.raises(PageError):
+            disk.read(pid)
+        assert pid in disk.quarantined
+        # fail-fast on the next read, no I/O needed
+        with pytest.raises(PageError):
+            disk.read(pid)
+        # a rewrite heals the page
+        disk.write(pid, "healed")
+        assert disk.read(pid) == "healed"
+
+    def test_on_disk_corruption_detected_by_crc(self, tmp_path):
+        disk = FileDiskStore(str(tmp_path / "pages"))
+        pid = disk.allocate()
+        disk.write(pid, list(range(50)))
+        offset, frame_len = disk._index[pid]
+        with open(disk.path, "r+b") as f:
+            f.seek(offset + frame_len - 1)
+            byte = f.read(1)
+            f.seek(offset + frame_len - 1)
+            f.write(bytes([byte[0] ^ 0x10]))
+        with pytest.raises(PageError, match="CRC mismatch"):
+            disk.read(pid)
+
+    def test_verify_all_finds_corruption_without_counting_reads(
+            self, tmp_path):
+        disk = FileDiskStore(str(tmp_path / "pages"))
+        pids = [disk.allocate() for _ in range(3)]
+        for pid in pids:
+            disk.write(pid, f"page {pid}")
+        offset, _ = disk._index[pids[1]]
+        with open(disk.path, "r+b") as f:
+            f.seek(offset)
+            f.write(b"XX")                  # clobber the frame magic
+        reads_before = disk.reads
+        assert disk.verify_all() == [pids[1]]
+        assert disk.reads == reads_before
+        assert disk.read(pids[2]) == f"page {pids[2]}"
+
+    def test_compaction_drops_dead_records(self, tmp_path):
+        disk = FileDiskStore(str(tmp_path / "pages"))
+        pid = disk.allocate()
+        for i in range(10):
+            disk.write(pid, f"version {i}")
+        old_size = os.path.getsize(disk.path)
+        disk.compact_to(str(tmp_path / "pages.2"), new_epoch=2)
+        assert os.path.getsize(disk.path) < old_size
+        assert disk.epoch == 2
+        assert disk.read(pid) == "version 9"
+
+    def test_detached_store_raises_typed_error(self, tmp_path):
+        import pickle
+        disk = FileDiskStore(str(tmp_path / "pages"))
+        pid = disk.allocate()
+        disk.write(pid, "data")
+        clone = pickle.loads(pickle.dumps(disk))
+        with pytest.raises(PageError, match="detached"):
+            clone.read(pid)
+        clone.reattach(disk.path)
+        assert clone.read(pid) == "data"
+
+
+# ----------------------------------------------------- checkpoint validation
+
+
+class TestCheckpointValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CatalogError, match="no such EDB"):
+            ExternalStore.load(str(tmp_path / "absent.edb"))
+
+    def test_junk_magic_named_in_error(self, tmp_path):
+        path = tmp_path / "junk.edb"
+        path.write_bytes(b"#!/usr/bin/env python\nprint('not an edb')\n")
+        with pytest.raises(CatalogError, match="bad magic"):
+            ExternalStore.load(str(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.edb"
+        path.write_bytes(CHECKPOINT_MAGIC + b"\x00")
+        with pytest.raises(CatalogError, match="truncated"):
+            ExternalStore.load(str(path))
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "future.edb"
+        payload = b"whatever"
+        header = _CKPT_HEADER.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION + 7,
+                                   0, len(payload), zlib.crc32(payload))
+        path.write_bytes(header + payload)
+        with pytest.raises(CatalogError, match="version"):
+            ExternalStore.load(str(path))
+
+    def test_truncated_payload(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        seeded_store(path, ctx)
+        data = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(data[:len(data) - 40])
+        with pytest.raises(CatalogError, match="truncated"):
+            ExternalStore.load(path)
+
+    def test_payload_crc_mismatch(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        seeded_store(path, ctx)
+        with open(path, "r+b") as f:
+            f.seek(_CKPT_HEADER.size + 11)
+            byte = f.read(1)
+            f.seek(_CKPT_HEADER.size + 11)
+            f.write(bytes([byte[0] ^ 0x20]))
+        with pytest.raises(CatalogError, match="checksum mismatch"):
+            ExternalStore.load(path)
+
+    def test_error_names_the_path(self, tmp_path):
+        path = tmp_path / "named.edb"
+        path.write_bytes(b"garbage here")
+        with pytest.raises(CatalogError, match="named.edb"):
+            ExternalStore.load(str(path))
+
+
+# ----------------------------------------------------------- crash recovery
+
+
+@pytest.mark.fault_injection
+class TestCrashRecovery:
+    """The crash matrix: die at every durability instant, reopen, and
+    check the database is the last committed state (or the log replayed
+    onto it) — never silently wrong."""
+
+    def test_fresh_create_reports_created(self, tmp_path):
+        store = ExternalStore.open(str(tmp_path / "new.edb"))
+        assert store.recovery.created and store.recovery.clean
+        assert isinstance(store.pager.disk, FileDiskStore)
+        assert os.path.exists(str(tmp_path / "new.edb"))
+
+    def test_open_missing_without_create_raises(self, tmp_path):
+        with pytest.raises(CatalogError):
+            ExternalStore.open(str(tmp_path / "nope.edb"), create=False)
+
+    def test_committed_op_survives_crash(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
+        del store                            # crash: no checkpoint
+
+        reopened = ExternalStore.open(path, create=False)
+        assert (9, 9) in [r[:2] for r in edge_rows(reopened)]
+        assert reopened.recovery.ops_replayed == {"assert_fact": 1}
+
+    @pytest.mark.parametrize("crash_point,rows_after,expect_torn", [
+        # dies before the record is logged: the op never happened
+        ("wal.append.before", 2, False),
+        # dies mid-frame: torn tail truncated, op never happened
+        ("wal.append.mid", 2, True),
+        # dies after fsync: the op is committed and replays
+        ("wal.append.synced", 3, False),
+    ])
+    def test_crash_during_wal_append(self, tmp_path, ctx, crash_point,
+                                     rows_after, expect_torn):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        arm(store, FaultInjector().arm_crash_point(crash_point))
+        with pytest.raises(InjectedCrash):
+            store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
+
+        reopened = ExternalStore.open(path, create=False)
+        assert len(edge_rows(reopened)) == rows_after
+        assert reopened.recovery.wal_torn_tail is expect_torn
+        assert not reopened.recovery.errors
+
+    @pytest.mark.parametrize("crash_point", [
+        "pages.append.before",        # during pages-file compaction
+        "checkpoint.write.mid",       # mid checkpoint temp-file write
+        "checkpoint.pre_rename",      # temp file complete, not yet live
+        "checkpoint.post_rename",     # new checkpoint live, WAL not reset
+    ])
+    def test_crash_during_checkpoint(self, tmp_path, ctx, crash_point):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
+        arm(store, FaultInjector().arm_crash_point(crash_point))
+        with pytest.raises(InjectedCrash):
+            store.save(path)
+
+        reopened = ExternalStore.open(path, create=False)
+        # Whichever instant the crash hit, the committed state — three
+        # edge rows — is restored: either the old checkpoint plus a WAL
+        # replay, or the new checkpoint with its stale records fenced.
+        assert len(edge_rows(reopened)) == 3
+        report = reopened.recovery
+        if crash_point == "checkpoint.post_rename":
+            # the new checkpoint already contains the row: replaying the
+            # old record would double-apply, so era fencing skips it
+            assert report.wal_records_stale == 1
+            assert report.wal_records_replayed == 0
+        else:
+            assert report.wal_records_replayed == 1
+        assert not report.errors
+
+    def test_failed_checkpoint_write_keeps_old_checkpoint(self, tmp_path,
+                                                          ctx):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
+        # every write of the checkpoint temp file fails (disc full)
+        arm(store, FaultInjector().arm_fail_write(
+            store.faults.writes_seen + 1))
+        with pytest.raises(InjectedIOError):
+            store.save(path)
+
+        reopened = ExternalStore.open(path, create=False)
+        assert len(edge_rows(reopened)) == 3
+
+    def test_recovery_is_idempotent(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
+        del store
+        for _ in range(3):                  # crash during every restart
+            reopened = ExternalStore.open(path, create=False)
+            assert len(edge_rows(reopened)) == 3
+            assert reopened.recovery.wal_records_replayed == 1
+
+    def test_save_resets_wal_and_clears_replay(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
+        reopened = ExternalStore.open(path, create=False)
+        reopened.save(path)
+
+        again = ExternalStore.open(path, create=False)
+        assert again.recovery.wal_records_seen == 0
+        assert len(edge_rows(again)) == 3
+
+    def test_bitflipped_page_quarantined_at_recovery(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        disk = store.pager.disk
+        victim = next(p for p in sorted(disk._index)
+                      if disk._index[p] is not None)
+        offset, frame_len = disk._index[victim]
+        with open(disk.path, "r+b") as f:
+            f.seek(offset + frame_len - 2)
+            byte = f.read(1)
+            f.seek(offset + frame_len - 2)
+            f.write(bytes([byte[0] ^ 0x04]))
+
+        reopened = ExternalStore.open(path, create=False)
+        report = reopened.recovery
+        assert report.pages_quarantined == [victim]
+        assert not report.clean
+        with pytest.raises(PageError):
+            reopened.pager.disk.read(victim)
+
+    def test_checkpoint_leaves_single_pages_epoch(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.save(path)
+        store.save(path)
+        sidecars = [n for n in os.listdir(tmp_path)
+                    if ".pages." in n]
+        assert len(sidecars) == 1
+        assert sidecars[0].endswith(f"{store.pager.disk.epoch:08d}")
+
+
+# ----------------------------------------------------------------- reporting
+
+
+class TestRecoveryReport:
+    def test_clean_report_formats(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        seeded_store(path, ctx)
+        report = ExternalStore.open(path, create=False).recovery
+        text = report.format()
+        assert "clean" in text and path in text
+        assert report.as_dict()["clean"] is True
+
+    def test_findings_surface_in_format(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
+        wal_path = path + ".wal"
+        with open(wal_path, "ab") as f:
+            f.write(b"torn tail bytes")
+        report = ExternalStore.open(path, create=False).recovery
+        assert report.wal_torn_tail
+        text = report.format()
+        assert "torn tail truncated" in text
+        assert "assert_fact=1" in text
