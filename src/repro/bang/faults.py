@@ -67,6 +67,10 @@ class FaultInjector:
         self.reads_seen = 0
         #: crash-point name -> remaining hits to skip before firing
         self._crash_points: Dict[str, int] = {}
+        #: crash-point name -> remaining hits to skip before raising
+        #: an InjectedIOError (failure the process survives) instead
+        #: of a simulated death
+        self._io_error_points: Dict[str, int] = {}
         self._fail_write_nth: Optional[int] = None
         self._torn_write: Optional[Tuple[int, float]] = None  # (nth, keep)
         self._bitflip_read: Optional[Tuple[int, int]] = None  # (nth, bit)
@@ -79,6 +83,13 @@ class FaultInjector:
         """Raise :class:`InjectedCrash` the (skip+1)-th time *name* is
         announced via :meth:`crash_point`."""
         self._crash_points[name] = skip
+        return self
+
+    def arm_io_error_point(self, name: str, skip: int = 0) -> "FaultInjector":
+        """Raise :class:`InjectedIOError` the (skip+1)-th time *name* is
+        announced — an I/O failure (disc full, EIO) at a named instant
+        that the process *survives*, unlike :meth:`arm_crash_point`."""
+        self._io_error_points[name] = skip
         return self
 
     def arm_fail_write(self, nth: int) -> "FaultInjector":
@@ -102,7 +113,16 @@ class FaultInjector:
     # -------------------------------------------------------------- hooks
 
     def crash_point(self, name: str) -> None:
-        """Announce a named instant; dies here if the point is armed."""
+        """Announce a named instant; dies (or errors) here if armed."""
+        remaining = self._io_error_points.get(name)
+        if remaining is not None:
+            if remaining > 0:
+                self._io_error_points[name] = remaining - 1
+            else:
+                del self._io_error_points[name]
+                self.fired.append(f"io_error@{name}")
+                raise InjectedIOError(
+                    f"injected I/O failure at {name!r}")
         remaining = self._crash_points.get(name)
         if remaining is None:
             return
@@ -149,7 +169,8 @@ class FaultInjector:
 
     @property
     def armed(self) -> bool:
-        return bool(self._crash_points or self._fail_write_nth is not None
+        return bool(self._crash_points or self._io_error_points
+                    or self._fail_write_nth is not None
                     or self._torn_write is not None
                     or self._bitflip_read is not None)
 
@@ -171,6 +192,7 @@ class NullFaultInjector(FaultInjector):
             "NULL_FAULTS cannot be armed; construct a FaultInjector")
 
     arm_crash_point = _refuse
+    arm_io_error_point = _refuse
     arm_fail_write = _refuse
     arm_torn_write = _refuse
     arm_bitflip_read = _refuse

@@ -57,6 +57,15 @@ class WriteAheadLog:
         self.syncs = 0
         self.truncations = 0
 
+    def _require_file(self):
+        """The open log file, or a typed error after :meth:`close`
+        (e.g. a handle retained across a save-as that re-homed the
+        store's WAL)."""
+        if self._f is None:
+            raise WalError(
+                f"{self.path}: write-ahead log is closed (detached file)")
+        return self._f
+
     # ----------------------------------------------------------------- write
 
     def append(self, payload: bytes) -> int:
@@ -67,6 +76,7 @@ class WriteAheadLog:
         leave a genuinely torn frame on disc.  The file is fsynced
         before returning (``wal.append.synced`` fires after the sync).
         """
+        f = self._require_file()
         if len(payload) > MAX_RECORD_BYTES:
             raise WalError(
                 f"{self.path}: record of {len(payload)} bytes exceeds "
@@ -76,10 +86,10 @@ class WriteAheadLog:
                             zlib.crc32(payload)) + payload
         self.faults.crash_point("wal.append.before")
         split = _FRAME.size // 2
-        self.faults.write(self._f, frame[:split])
+        self.faults.write(f, frame[:split])
         self.faults.crash_point("wal.append.mid")
-        self.faults.write(self._f, frame[split:])
-        os.fsync(self._f.fileno())
+        self.faults.write(f, frame[split:])
+        os.fsync(f.fileno())
         self.syncs += 1
         self.faults.crash_point("wal.append.synced")
         self._end += len(frame)
@@ -100,14 +110,15 @@ class WriteAheadLog:
         after the last committed record, so subsequent appends continue
         the sequence.
         """
+        f = self._require_file()
         payloads: List[bytes] = []
         offset = 0
         torn = False
         size = os.path.getsize(self.path)
-        self._f.seek(0)
+        f.seek(0)
         expected_lsn = 0
         while offset + _FRAME.size <= size:
-            header = self.faults.read(self._f, _FRAME.size)
+            header = self.faults.read(f, _FRAME.size)
             if len(header) < _FRAME.size:
                 torn = True
                 break
@@ -117,7 +128,7 @@ class WriteAheadLog:
                     or offset + _FRAME.size + length > size):
                 torn = True
                 break
-            payload = self.faults.read(self._f, length)
+            payload = self.faults.read(f, length)
             if len(payload) < length or zlib.crc32(payload) != crc:
                 torn = True
                 break
@@ -134,15 +145,17 @@ class WriteAheadLog:
     def truncate_to(self, offset: int) -> None:
         """Physically drop everything past *offset* (torn-tail repair),
         so later appends never sit behind unreadable garbage."""
-        self._f.truncate(offset)
-        os.fsync(self._f.fileno())
+        f = self._require_file()
+        f.truncate(offset)
+        os.fsync(f.fileno())
         self.syncs += 1
         self._end = offset
 
     def truncate(self) -> None:
         """Reset the log to empty (after a successful checkpoint)."""
-        self._f.truncate(0)
-        os.fsync(self._f.fileno())
+        f = self._require_file()
+        f.truncate(0)
+        os.fsync(f.fileno())
         self.syncs += 1
         self._end = 0
         self.next_lsn = 0

@@ -59,7 +59,8 @@ from ..bang.faults import NULL_FAULTS, FaultInjector
 from ..bang.pager import FileDiskStore, Pager
 from ..bang.relation import BangRelation
 from ..bang.wal import WriteAheadLog
-from ..errors import CatalogError, ExistenceError, ReproError, TypeError_
+from ..errors import (CatalogError, ExistenceError, ReproError, TypeError_,
+                      WalError)
 from ..obs.tracing import NULL_TRACER
 from ..terms import Atom, Struct, Term, Var, deref
 from ..wam.compiler import ClauseCompiler, CompileContext, split_clause
@@ -180,6 +181,11 @@ class ExternalStore:
         #: records that predate the checkpoint it loaded
         self.wal_era = 0
         self.faults: FaultInjector = NULL_FAULTS
+        #: set when a WAL append failed after its in-memory mutation was
+        #: applied: the live state is ahead of the log, so further
+        #: mutations are refused until a checkpoint re-establishes
+        #: durability (see :meth:`_check_writable`)
+        self._poisoned: Optional[str] = None
         #: RecoveryReport from the ExternalStore.open that produced this
         #: store (None for fresh in-memory stores)
         self.recovery: Optional[RecoveryReport] = None
@@ -199,6 +205,10 @@ class ExternalStore:
         state["faults"] = None
         state["recovery"] = None
         state["_home"] = None
+        # A checkpoint only ever persists consistent state (save()
+        # captures the full in-memory image), so the poison flag never
+        # travels into the image.
+        state["_poisoned"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -249,6 +259,7 @@ class ExternalStore:
         Auxiliary procedures synthesised for control constructs are
         stored recursively, so the EDB is self-contained.
         """
+        self._check_writable()
         aux_sink: List[Tuple[str, int, list]] = []
         store_ctx = CompileContext(
             context.dictionary,
@@ -330,6 +341,7 @@ class ExternalStore:
         """Store an ordinary relation (code attribute false, atomic
         formats only).  ``key_dims`` selects the indexed attributes
         (default: all — full partial-match clustering)."""
+        self._check_writable()
         if types is None:
             types = _infer_types(rows, arity)
         rows = [tuple(row) for row in rows]
@@ -375,6 +387,7 @@ class ExternalStore:
                      clauses: Sequence[Term]) -> StoredProcedure:
         """Store rules as *source text* — the Educe predecessor's scheme
         (§2.3), kept as the baseline the paper measures against."""
+        self._check_writable()
         from ..lang.writer import format_clause
         payloads: List[dict] = []
         for clause in clauses:
@@ -411,6 +424,7 @@ class ExternalStore:
     def assert_clause(self, name: str, arity: int, clause: Term,
                       context: CompileContext) -> None:
         """Append a clause to a stored rules procedure."""
+        self._check_writable()
         proc = self.get(name, arity)
         if proc.mode == "facts":
             head, _ = split_clause(clause)
@@ -459,6 +473,7 @@ class ExternalStore:
         proc.version += 1
 
     def retract_clause(self, name: str, arity: int, clause_id: int) -> None:
+        self._check_writable()
         self._apply_retract(name, arity, clause_id)
         self._log({"op": "retract", "name": name, "arity": arity,
                    "clause_id": clause_id})
@@ -472,18 +487,44 @@ class ExternalStore:
 
     # ------------------------------------------------------ write-ahead log
 
+    def _check_writable(self) -> None:
+        """Refuse mutations while the live state is ahead of the log.
+
+        Set by :meth:`_log` when a WAL append fails after its in-memory
+        mutation was applied: logging further operations on top of
+        unlogged state would make recovery replay against a state that
+        never existed on disc (e.g. an ``assert_rule`` for a procedure
+        whose ``rules`` record was never logged).  A successful
+        :meth:`save` — which checkpoints the full in-memory image —
+        clears the flag.
+        """
+        if self._poisoned is not None:
+            raise WalError(
+                "EDB store is read-only: a WAL append failed "
+                f"({self._poisoned}) and the in-memory state is ahead "
+                "of the log; save() a fresh checkpoint to resume updates")
+
     def _log(self, record: dict) -> None:
         """Durably append one redo record (no-op without a WAL home).
 
         Called *after* the in-memory/page mutation succeeded: operations
         are atomic at record granularity — a crash before the append
-        simply loses the whole operation, never half of it.
+        simply loses the whole operation, never half of it.  If the
+        append *fails* while the session lives on (disc full, EIO), the
+        in-memory mutation has no durable redo record, so the store is
+        poisoned: subsequent mutations raise
+        :class:`~repro.errors.WalError` until a checkpoint
+        re-establishes durability.
         """
         if self.wal is None:
             return
         record["era"] = self.wal_era
         payload = pickle.dumps(record, protocol=4)
-        self.wal.append(payload)
+        try:
+            self.wal.append(payload)
+        except BaseException as exc:
+            self._poisoned = f"{type(exc).__name__}: {exc}"
+            raise
         self.wal_records_appended += 1
         self.wal_bytes_appended += len(payload)
 
@@ -547,15 +588,25 @@ class ExternalStore:
         self.pager.flush()
         disk = self.pager.disk
         faults = self.faults
-        prev_home = self._home
-        self.wal_era += 1
         old_pages_path = None
         if isinstance(disk, FileDiskStore):
             old_pages_path = disk.path
             new_epoch = disk.epoch + 1
             disk.compact_to(_pages_path(path, new_epoch), new_epoch)
 
-        payload = pickle.dumps(self, protocol=4)
+        # The checkpoint *image* carries the next era, but the live
+        # store commits the bump only once os.replace has made that
+        # image durable.  If any write up to the rename fails (disc
+        # full during the temp-file write), the session keeps logging
+        # under the era of the checkpoint actually on disc, so those
+        # acknowledged records still replay at recovery instead of
+        # being fenced off as stale.
+        new_era = self.wal_era + 1
+        self.wal_era = new_era
+        try:
+            payload = pickle.dumps(self, protocol=4)
+        finally:
+            self.wal_era = new_era - 1
         header = _CKPT_HEADER.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION, 0,
                                    len(payload), zlib.crc32(payload))
         tmp = path + ".tmp"
@@ -568,6 +619,7 @@ class ExternalStore:
             os.fsync(f.fileno())
         faults.crash_point("checkpoint.pre_rename")
         os.replace(tmp, path)
+        self.wal_era = new_era
         faults.crash_point("checkpoint.post_rename")
         _fsync_dir(os.path.dirname(os.path.abspath(path)))
 
@@ -592,6 +644,10 @@ class ExternalStore:
             except OSError:
                 pass
         self._home = path
+        # The checkpoint captured the full in-memory state, including
+        # any mutation whose redo record failed to log: durability is
+        # re-established, so a poisoned store becomes writable again.
+        self._poisoned = None
         self.checkpoints_written += 1
         self.checkpoint_bytes_written += len(header) + len(payload)
 
@@ -707,7 +763,18 @@ class ExternalStore:
                         f"undecodable WAL record ({type(exc).__name__}: "
                         f"{exc}); replay stopped")
                     break
-                if record.get("era") != store.wal_era:
+                era = record.get("era")
+                if not isinstance(era, int) or era > store.wal_era:
+                    # A record from *after* the loaded checkpoint's era
+                    # should be impossible (save commits the era bump
+                    # only once the checkpoint is durable); it means
+                    # the log and checkpoint diverged, so refuse to
+                    # guess rather than silently drop committed writes.
+                    report.errors.append(
+                        f"WAL record era {era!r} is ahead of checkpoint "
+                        f"era {store.wal_era}; replay stopped")
+                    break
+                if era < store.wal_era:
                     report.wal_records_stale += 1
                     store.wal_records_skipped += 1
                     continue

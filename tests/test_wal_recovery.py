@@ -95,9 +95,19 @@ class TestFaultInjector:
             faults.crash_point("cp")
         faults.crash_point("cp")            # disarmed after firing
 
+    def test_io_error_point_survivable_and_one_shot(self):
+        faults = FaultInjector().arm_io_error_point("cp", skip=1)
+        faults.crash_point("cp")
+        with pytest.raises(InjectedIOError):
+            faults.crash_point("cp")
+        faults.crash_point("cp")            # disarmed after firing
+        assert faults.fired == ["io_error@cp"]
+
     def test_null_faults_refuses_arming(self):
         with pytest.raises(ValueError):
             NULL_FAULTS.arm_crash_point("anything")
+        with pytest.raises(ValueError):
+            NULL_FAULTS.arm_io_error_point("anything")
 
 
 # --------------------------------------------------------------------- WAL
@@ -175,6 +185,18 @@ class TestWriteAheadLog:
         wal = WriteAheadLog(str(tmp_path / "log.wal"))
         with pytest.raises(WalError):
             wal.append(b"\x00" * (wal_mod.MAX_RECORD_BYTES + 1))
+
+    def test_closed_log_raises_typed_error(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "log.wal"))
+        wal.append(b"x")
+        wal.close()
+        wal.close()                         # idempotent
+        for operation in (lambda: wal.append(b"y"),
+                          wal.scan,
+                          lambda: wal.truncate_to(0),
+                          wal.truncate):
+            with pytest.raises(WalError, match="closed"):
+                operation()
 
 
 # ----------------------------------------------------------- FileDiskStore
@@ -401,14 +423,68 @@ class TestCrashRecovery:
         path = str(tmp_path / "db.edb")
         store = seeded_store(path, ctx)
         store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
-        # every write of the checkpoint temp file fails (disc full)
-        arm(store, FaultInjector().arm_fail_write(
-            store.faults.writes_seen + 1))
+        # the checkpoint temp-file write itself fails (disc full) —
+        # after the page flush and compaction writes already succeeded
+        arm(store, FaultInjector().arm_io_error_point("checkpoint.write.mid"))
         with pytest.raises(InjectedIOError):
             store.save(path)
+        assert store.faults.fired == ["io_error@checkpoint.write.mid"]
+
+        # the era bump was not committed, so the surviving session keeps
+        # logging under the era of the checkpoint actually on disc and
+        # acknowledged writes stay replayable
+        assert store.wal_era == 2
+        store.assert_clause("edge", 2, read_term("edge(8,8)"), ctx)
 
         reopened = ExternalStore.open(path, create=False)
-        assert len(edge_rows(reopened)) == 3
+        assert len(edge_rows(reopened)) == 4
+        assert reopened.recovery.wal_records_replayed == 2
+        assert not reopened.recovery.errors
+
+    def test_future_era_wal_record_is_an_error_not_stale(self, tmp_path,
+                                                         ctx):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        # simulate checkpoint/log divergence: a record tagged with an
+        # era ahead of the on-disc checkpoint must be reported loudly,
+        # never silently dropped as "stale"
+        store.wal_era += 1
+        store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
+
+        reopened = ExternalStore.open(path, create=False)
+        report = reopened.recovery
+        assert any("ahead of checkpoint era" in e for e in report.errors)
+        assert report.wal_records_stale == 0
+        assert report.wal_records_replayed == 0
+
+    def test_failed_wal_append_poisons_store_until_checkpoint(
+            self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.wal.faults = FaultInjector().arm_fail_write(1)
+        with pytest.raises(InjectedIOError):
+            store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
+
+        # the mutation is in memory but has no durable redo record:
+        # further updates are refused so nothing is ever logged on top
+        # of unlogged state
+        with pytest.raises(WalError, match="read-only"):
+            store.assert_clause("edge", 2, read_term("edge(8,8)"), ctx)
+        with pytest.raises(WalError, match="read-only"):
+            store.retract_clause("path", 2, 0)
+        with pytest.raises(WalError, match="read-only"):
+            store.store_facts("other", 1, [(1,)], types=("int",))
+
+        # a fresh checkpoint captures the full in-memory state (the
+        # unlogged row included) and lifts the embargo
+        store.save(path)
+        store.assert_clause("edge", 2, read_term("edge(7,7)"), ctx)
+
+        reopened = ExternalStore.open(path, create=False)
+        rows = [r[:2] for r in edge_rows(reopened)]
+        assert (9, 9) in rows and (7, 7) in rows
+        assert len(rows) == 4
+        assert not reopened.recovery.errors
 
     def test_recovery_is_idempotent(self, tmp_path, ctx):
         path = str(tmp_path / "db.edb")
