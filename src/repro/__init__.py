@@ -25,6 +25,7 @@ Layers (bottom-up)
                       the dynamic loader (§3.1, §4)
 ``repro.relational``  goal-oriented set-at-a-time engine (§2.2)
 ``repro.engine``      EduceStar (the system) and EduceBaseline (Educe)
+``repro.service``     the multi-user kernel: concurrent query service (§3.3)
 ``repro.workloads``   MVV, Wisconsin, integrity checking (§5)
 """
 
@@ -32,7 +33,8 @@ from .engine.educe_baseline import EduceBaseline
 from .engine.interpreter import Interpreter
 from .engine.session import EduceStar
 from .engine.stats import CostModel, Measurement, measure
-from .errors import PrologError, ReproError, StorageError
+from .errors import PrologError, ReproError, ServiceError, StorageError
+from .service import QueryService, QueryTicket
 from .lang.reader import read_program, read_term
 from .lang.writer import term_to_text
 from .terms import Atom, Struct, Term, Var
@@ -56,8 +58,11 @@ __all__ = [
     "read_term",
     "read_program",
     "term_to_text",
+    "QueryService",
+    "QueryTicket",
     "ReproError",
     "PrologError",
+    "ServiceError",
     "StorageError",
     "__version__",
 ]

@@ -5,19 +5,45 @@ containing several tuples, the previous block can be processed" — the
 relational engine's whole strategy assumes block-at-a-time transfer with
 buffering.  The pool counts hits/misses/evictions so the benchmarks can
 report buffer behaviour (Table 2b's "buffer read/write" row).
+
+Concurrency (docs/CONCURRENCY.md)
+---------------------------------
+
+The pool is shared by every worker of a :class:`repro.service`
+query service, so it is a proper latched buffer manager:
+
+* one :class:`~repro.locks.Latch` protects the frame table, the dirty
+  set, the pin table and the counters;
+* **per-frame pin counts** — a reader that is iterating a page's
+  entries pins the frame (:meth:`pin`/:meth:`unpin`); the LRU eviction
+  path skips pinned frames, and when *every* frame is pinned the pool
+  grows past capacity (counted in ``buffer_pin_overflows``) rather
+  than deadlocking or evicting a page out from under a reader;
+* **miss de-duplication** — concurrent misses on the same page
+  coalesce: one thread reads the disc, the others wait on an in-flight
+  event and then take the admitted frame.  The latch is *released*
+  around the disc read, so simulated (or real) disc latency overlaps
+  across threads instead of serialising behind the latch.
+
+Pin balance is a correctness invariant: after a quiescent run,
+``buffer_pins == buffer_unpins`` and the ``buffer_pinned`` gauge is 0 —
+the differential concurrency suite asserts exactly that.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Dict
 
+from ..errors import PageError
+from ..locks import Latch
 from ..obs.tracing import NULL_TRACER
 from .pager import DiskStore
 
 
 class BufferPool:
-    """Fixed-capacity LRU cache of page payloads over a DiskStore."""
+    """Fixed-capacity latched LRU cache of page payloads over a DiskStore."""
 
     def __init__(self, disk: DiskStore, capacity: int = 128):
         if capacity < 1:
@@ -25,39 +51,62 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity
         self.tracer = NULL_TRACER  # threaded in via Pager.tracer
+        self._latch = Latch("buffer")
         self._frames: "OrderedDict[int, Any]" = OrderedDict()
         self._dirty: set = set()
+        #: page id → pin count (only pages with a live pin appear)
+        self._pins: Dict[int, int] = {}
+        #: page id → event set once an in-flight disc read is admitted
+        self._loading: Dict[int, threading.Event] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.pins_taken = 0
+        self.pins_released = 0
+        self.pin_overflows = 0
 
     # ------------------------------------------------------------------ API
 
     def get(self, page_id: int) -> Any:
         """Page payload, reading from disc on a miss."""
-        if page_id in self._frames:
-            self.hits += 1
-            self._frames.move_to_end(page_id)
-            return self._frames[page_id]
-        self.misses += 1
-        payload = self.disk.read(page_id)
-        self._admit(page_id, payload)
-        return payload
+        return self._fetch(page_id, pin=False)
+
+    def pin(self, page_id: int) -> Any:
+        """Page payload with its frame pinned against eviction.
+
+        Every ``pin`` must be balanced by exactly one :meth:`unpin`; the
+        ``buffer_pinned`` gauge is the number of outstanding pins.
+        """
+        return self._fetch(page_id, pin=True)
+
+    def unpin(self, page_id: int) -> None:
+        with self._latch:
+            count = self._pins.get(page_id)
+            if count is None:
+                raise PageError(
+                    f"page {page_id}: unpin without a matching pin")
+            if count == 1:
+                del self._pins[page_id]
+            else:
+                self._pins[page_id] = count - 1
+            self.pins_released += 1
 
     def put(self, page_id: int, payload: Any) -> None:
         """Install a new payload for the page and mark it dirty."""
-        if page_id in self._frames:
-            self._frames[page_id] = payload
-            self._frames.move_to_end(page_id)
-        else:
-            self._admit(page_id, payload)
-        self._dirty.add(page_id)
+        with self._latch:
+            if page_id in self._frames:
+                self._frames[page_id] = payload
+                self._frames.move_to_end(page_id)
+            else:
+                self._admit_locked(page_id, payload)
+            self._dirty.add(page_id)
 
     def install(self, page_id: int, payload: Any) -> None:
         """Admit a freshly allocated page (dirty, no disc read)."""
-        self._admit(page_id, payload)
-        self._dirty.add(page_id)
+        with self._latch:
+            self._admit_locked(page_id, payload)
+            self._dirty.add(page_id)
 
     def flush(self) -> None:
         """Write back every dirty frame.
@@ -67,31 +116,99 @@ class BufferPool:
         ("fail the Nth write", "tear the Nth write") stay reproducible
         run over run instead of depending on set iteration order.
         """
-        for page_id in sorted(self._dirty):
-            self.disk.write(page_id, self._frames.get(page_id))
-            self.writebacks += 1
-        self._dirty.clear()
+        with self._latch:
+            for page_id in sorted(self._dirty):
+                self.disk.write(page_id, self._frames.get(page_id))
+                self.writebacks += 1
+            self._dirty.clear()
 
     def discard(self, page_id: int) -> None:
-        """Drop a page from the pool without write-back (page freed)."""
-        self._frames.pop(page_id, None)
-        self._dirty.discard(page_id)
+        """Drop a page from the pool without write-back (page freed).
 
-    # Like DiskStore, never persist the live session's tracer.
+        An outstanding pin entry survives the discard: the pin tracks
+        the *reader's* obligation to unpin, and pin balance must hold
+        even when a writer frees the page mid-scan.
+        """
+        with self._latch:
+            self._frames.pop(page_id, None)
+            self._dirty.discard(page_id)
+
+    # Like DiskStore, never persist the live session's tracer; latch,
+    # pins and in-flight reads are runtime state and restart empty.
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["tracer"] = None
+        state["_pins"] = {}
+        state["_loading"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self.tracer = NULL_TRACER
+        # Pre-concurrency pickles lack the latch/pin fields.
+        if getattr(self, "_latch", None) is None:
+            self._latch = Latch("buffer")
+        self.__dict__.setdefault("_pins", {})
+        self.__dict__.setdefault("_loading", {})
+        for key in ("pins_taken", "pins_released", "pin_overflows"):
+            self.__dict__.setdefault(key, 0)
 
     # ------------------------------------------------------------ internals
 
-    def _admit(self, page_id: int, payload: Any) -> None:
+    def _fetch(self, page_id: int, pin: bool) -> Any:
+        while True:
+            with self._latch:
+                if page_id in self._frames:
+                    self.hits += 1
+                    self._frames.move_to_end(page_id)
+                    if pin:
+                        self._pin_locked(page_id)
+                    return self._frames[page_id]
+                event = self._loading.get(page_id)
+                if event is None:
+                    # This thread performs the read; others wait on it.
+                    event = threading.Event()
+                    self._loading[page_id] = event
+                    self.misses += 1
+                    break
+            event.wait()
+        # Latch released: the disc read (and any simulated latency)
+        # overlaps with other threads' work.
+        try:
+            payload = self.disk.read(page_id)
+        except BaseException:
+            with self._latch:
+                del self._loading[page_id]
+                event.set()
+            raise
+        with self._latch:
+            del self._loading[page_id]
+            event.set()
+            if page_id in self._frames:
+                # A put/install raced ahead of the read; its payload is
+                # the newer one.
+                payload = self._frames[page_id]
+                self._frames.move_to_end(page_id)
+            else:
+                self._admit_locked(page_id, payload)
+            if pin:
+                self._pin_locked(page_id)
+            return payload
+
+    def _pin_locked(self, page_id: int) -> None:
+        self._pins[page_id] = self._pins.get(page_id, 0) + 1
+        self.pins_taken += 1
+
+    def _admit_locked(self, page_id: int, payload: Any) -> None:
         while len(self._frames) >= self.capacity:
-            victim, victim_payload = self._frames.popitem(last=False)
+            victim = next((pid for pid in self._frames
+                           if pid not in self._pins), None)
+            if victim is None:
+                # Every frame is pinned: grow past capacity rather than
+                # stall or steal a pinned frame.
+                self.pin_overflows += 1
+                break
+            victim_payload = self._frames.pop(victim)
             self.evictions += 1
             if self.tracer.enabled:
                 self.tracer.event("page.evict", page=victim,
@@ -105,13 +222,19 @@ class BufferPool:
     # ------------------------------------------------------------- counters
 
     def counters(self) -> dict:
-        return {
+        counters = {
             "buffer_hits": self.hits,
             "buffer_misses": self.misses,
             "buffer_evictions": self.evictions,
             "buffer_writebacks": self.writebacks,
             "buffer_resident": len(self._frames),
+            "buffer_pins": self.pins_taken,
+            "buffer_unpins": self.pins_released,
+            "buffer_pinned": sum(self._pins.values()),
+            "buffer_pin_overflows": self.pin_overflows,
         }
+        counters.update(self._latch.counters())
+        return counters
 
     def reset_counters(self) -> None:
         self.hits = 0

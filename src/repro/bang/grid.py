@@ -260,10 +260,16 @@ class BangGrid:
             if not _intersects(node.region, box):
                 continue
             if node.is_leaf:
-                entries = self.pager.get(node.page_id) or []
-                for key, record in entries:
-                    if key_in_box(key, box):
-                        yield record
+                # Pin the leaf frame while its entries stream out: the
+                # block-at-a-time contract of §2.2 — concurrent readers
+                # must not have the page evicted mid-scan.
+                entries = self.pager.pin(node.page_id) or []
+                try:
+                    for key, record in entries:
+                        if key_in_box(key, box):
+                            yield record
+                finally:
+                    self.pager.unpin(node.page_id)
             else:
                 stack.append(node.left)   # type: ignore[arg-type]
                 stack.append(node.right)  # type: ignore[arg-type]

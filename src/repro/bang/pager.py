@@ -37,7 +37,10 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import threading
+import time
 import zlib
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..errors import PageError
@@ -48,12 +51,24 @@ DEFAULT_PAGE_SIZE = 4096
 
 
 class DiskStore:
-    """The simulated disc: page id → serialized page image."""
+    """The simulated disc: page id → serialized page image.
+
+    Thread safety: page table, counters and (for the file-backed
+    subclass) the shared file handle are guarded by one internal I/O
+    lock, so concurrent buffer-pool misses from different service
+    workers never interleave a seek with another thread's read.
+    ``read_latency_s`` optionally simulates disc access latency with a
+    real sleep *outside* the lock — concurrent readers overlap their
+    stalls exactly as a multi-user KBMS overlaps real disc arms, which
+    is what ``benchmarks/bench_concurrency.py`` measures.
+    """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
         self.page_size = page_size
         self._pages: Dict[int, bytes] = {}
         self._next_id = 0
+        self._io_lock = threading.Lock()
+        self.read_latency_s = 0.0
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
@@ -66,55 +81,67 @@ class DiskStore:
 
     def allocate(self) -> int:
         """Reserve a fresh page id (no I/O)."""
-        pid = self._next_id
-        self._next_id += 1
-        self._register_page(pid)
-        return pid
+        with self._io_lock:
+            pid = self._next_id
+            self._next_id += 1
+            self._register_page(pid)
+            return pid
 
     # The tracer belongs to the live session, not the persisted EDB
     # (it can reference the whole session object graph via its
-    # snapshot callback).
+    # snapshot callback).  The I/O lock and simulated latency are
+    # runtime state.
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["tracer"] = None
+        state["_io_lock"] = None
+        state["read_latency_s"] = 0.0
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self.tracer = NULL_TRACER
+        self._io_lock = threading.Lock()
         # Pre-durability pickles lack the corruption fields.
         self.__dict__.setdefault("page_corruptions", 0)
         self.__dict__.setdefault("quarantined", set())
+        self.__dict__.setdefault("read_latency_s", 0.0)
 
     def read(self, page_id: int) -> Any:
-        if page_id in self.quarantined:
-            raise PageError(
-                f"page {page_id} is quarantined (corrupt image detected)")
-        image = self._load_image(page_id)
-        self.reads += 1
-        self.bytes_read += self.page_size
-        if self.tracer.enabled:
-            self.tracer.event("page.read", page=page_id,
-                              bytes=self.page_size)
-        if not image:
-            return None
-        return self._deserialize(page_id, image)
+        if self.read_latency_s:
+            time.sleep(self.read_latency_s)
+        with self._io_lock:
+            if page_id in self.quarantined:
+                raise PageError(
+                    f"page {page_id} is quarantined (corrupt image detected)")
+            image = self._load_image(page_id)
+            self.reads += 1
+            self.bytes_read += self.page_size
+            if self.tracer.enabled:
+                self.tracer.event("page.read", page=page_id,
+                                  bytes=self.page_size)
+            if not image:
+                return None
+            return self._deserialize(page_id, image)
 
     def write(self, page_id: int, payload: Any) -> None:
-        if not self._page_exists(page_id):
-            raise PageError(f"page {page_id} does not exist")
-        self.writes += 1
-        self.bytes_written += self.page_size
-        if self.tracer.enabled:
-            self.tracer.event("page.write", page=page_id,
-                              bytes=self.page_size)
-        self._store_image(page_id, pickle.dumps(payload, protocol=4))
-        # A full rewrite replaces the damaged image: lift the quarantine.
-        self.quarantined.discard(page_id)
+        with self._io_lock:
+            if not self._page_exists(page_id):
+                raise PageError(f"page {page_id} does not exist")
+            self.writes += 1
+            self.bytes_written += self.page_size
+            if self.tracer.enabled:
+                self.tracer.event("page.write", page=page_id,
+                                  bytes=self.page_size)
+            self._store_image(page_id, pickle.dumps(payload, protocol=4))
+            # A full rewrite replaces the damaged image: lift the
+            # quarantine.
+            self.quarantined.discard(page_id)
 
     def free(self, page_id: int) -> None:
-        self._pages.pop(page_id, None)
-        self.quarantined.discard(page_id)
+        with self._io_lock:
+            self._pages.pop(page_id, None)
+            self.quarantined.discard(page_id)
 
     def verify_all(self) -> List[int]:
         """Validate every page image; quarantine and return the corrupt
@@ -315,8 +342,9 @@ class FileDiskStore(DiskStore):
         self._index[pid] = (offset, len(frame))
 
     def free(self, page_id: int) -> None:
-        self._index.pop(page_id, None)
-        self.quarantined.discard(page_id)
+        with self._io_lock:
+            self._index.pop(page_id, None)
+            self.quarantined.discard(page_id)
 
     @property
     def page_count(self) -> int:
@@ -387,6 +415,22 @@ class Pager:
 
     def get(self, page_id: int) -> Any:
         return self.buffer.get(page_id)
+
+    def pin(self, page_id: int) -> Any:
+        """Page payload with its buffer frame pinned against eviction."""
+        return self.buffer.pin(page_id)
+
+    def unpin(self, page_id: int) -> None:
+        self.buffer.unpin(page_id)
+
+    @contextmanager
+    def pinned(self, page_id: int):
+        """Context manager: the page payload, pinned for the extent."""
+        payload = self.buffer.pin(page_id)
+        try:
+            yield payload
+        finally:
+            self.buffer.unpin(page_id)
 
     def put(self, page_id: int, payload: Any) -> None:
         self.buffer.put(page_id, payload)

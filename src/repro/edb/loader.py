@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..locks import Latch
 from ..obs.tracing import NULL_TRACER
 from ..wam import instructions as I
 from ..wam.compiler import CompiledClause
@@ -51,12 +52,23 @@ class DynamicLoader:
         self.preunifier = preunifier or PreUnifier("full")
         self.index = index
         self.tracer = NULL_TRACER  # session installs its shared tracer
+        # The cache is keyed by (name, arity, version, pattern, depth):
+        # the stored procedure's *version* rides in the key, so an entry
+        # can never serve stale code — invalidation is purely memory
+        # reclamation, done per procedure (see :meth:`invalidate`).
+        # Latched because the service's writer path prunes a worker's
+        # cache while the worker is querying (docs/CONCURRENCY.md).
         self._cache: Dict[tuple, list] = {}
+        self._latch = Latch("loader")
         self.loads = 0
         self.cache_hits = 0
         self.clauses_fetched = 0
         self.clauses_delivered = 0
         self.resolutions = 0  # external->internal address resolutions
+        #: monotone: bumped once per invalidation call — the
+        #: differential concurrency suite asserts it never goes back
+        self.cache_epoch = 0
+        self.cache_invalidated_entries = 0
 
     # ------------------------------------------------------------------ API
 
@@ -70,9 +82,11 @@ class DynamicLoader:
         summaries = self.preunifier.summaries_from_registers(machine, arity)
         pattern = tuple(sorted(summaries.items()))
         key = (name, arity, proc.version, pattern, self.preunifier.depth)
-        cached = self._cache.get(key)
+        with self._latch:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
         if cached is not None:
-            self.cache_hits += 1
             if self.tracer.enabled:
                 self.tracer.event("loader.cache_hit",
                                   procedure=f"{name}/{arity}")
@@ -88,11 +102,36 @@ class DynamicLoader:
                 code = self._load_rules(machine, name, arity, summaries)
             if span is not None:
                 span.attrs["bound_args"] = sorted(summaries)
-        self._cache[key] = code
+        with self._latch:
+            self._cache[key] = code
         return code
 
-    def invalidate(self) -> None:
-        self._cache.clear()
+    def invalidate(self, name: Optional[str] = None,
+                   arity: Optional[int] = None) -> int:
+        """Prune cached blocks; returns how many entries were dropped.
+
+        With a procedure indicator, only that procedure's entries go —
+        unrelated procedures keep their cached blocks and their
+        ``cache_hits`` keep accruing (no global clear() stampede).  With
+        no arguments, the whole cache is cleared (schema-level events:
+        bulk loads, relation drops).  Correctness never depends on this:
+        cache keys carry the stored procedure's version, so stale code
+        is unreachable the instant a mutator bumps it.  Each call bumps
+        the monotone ``cache_epoch``.
+        """
+        with self._latch:
+            if name is None:
+                dropped = len(self._cache)
+                self._cache.clear()
+            else:
+                stale = [key for key in self._cache
+                         if key[0] == name and key[1] == arity]
+                for key in stale:
+                    del self._cache[key]
+                dropped = len(stale)
+            self.cache_epoch += 1
+            self.cache_invalidated_entries += dropped
+            return dropped
 
     # ------------------------------------------------------------ rules path
 
@@ -179,7 +218,7 @@ class DynamicLoader:
     # ------------------------------------------------------------- counters
 
     def counters(self) -> dict:
-        return {
+        counters = {
             "loads": self.loads,
             "cache_hits": self.cache_hits,
             "clauses_fetched": self.clauses_fetched,
@@ -187,7 +226,12 @@ class DynamicLoader:
             "resolutions": self.resolutions,
             "preunify_executions": self.preunifier.executions,
             "preunify_rejections": self.preunifier.rejections,
+            "cache_epoch": self.cache_epoch,
+            "cache_invalidated_entries": self.cache_invalidated_entries,
+            "loader_cache_entries": len(self._cache),
         }
+        counters.update(self._latch.counters())
+        return counters
 
 
 def _facts_assignment(summaries: Dict[int, tuple]) -> Dict[int, object]:

@@ -51,8 +51,9 @@ import os
 import pickle
 import struct
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..bang.catalog import AttributeSpec, Catalog, RelationSchema
 from ..bang.faults import NULL_FAULTS, FaultInjector
@@ -61,6 +62,7 @@ from ..bang.relation import BangRelation
 from ..bang.wal import WriteAheadLog
 from ..errors import (CatalogError, ExistenceError, ReproError, TypeError_,
                       WalError)
+from ..locks import ReadWriteLock
 from ..obs.tracing import NULL_TRACER
 from ..terms import Atom, Struct, Term, Var, deref
 from ..wam.compiler import ClauseCompiler, CompileContext, split_clause
@@ -171,6 +173,17 @@ class ExternalStore:
         self.code_bytes_stored = 0
         self.source_bytes_stored = 0
 
+        # --- concurrency state (docs/CONCURRENCY.md) ---------------------
+        #: updates serialize against in-flight queries: every mutator
+        #: runs under :meth:`writing`, service workers run each query
+        #: under :meth:`reading`
+        self._rw = ReadWriteLock("store")
+        #: bumped once per completed top-level mutation, *before* the
+        #: write lock is released — a reader observing epoch E sees
+        #: exactly the first E mutations, which is what the differential
+        #: concurrency suite linearizes against
+        self.mutation_epoch = 0
+
         # --- durability state (docs/DURABILITY.md) -----------------------
         #: checkpoint path this store is homed at (None: in-memory only)
         self._home: Optional[str] = None
@@ -205,6 +218,9 @@ class ExternalStore:
         state["faults"] = None
         state["recovery"] = None
         state["_home"] = None
+        # Locks and the mutation epoch are runtime (session) state.
+        state["_rw"] = None
+        state["mutation_epoch"] = 0
         # A checkpoint only ever persists consistent state (save()
         # captures the full in-memory image), so the poison flag never
         # travels into the image.
@@ -215,6 +231,9 @@ class ExternalStore:
         self.__dict__.update(state)
         if self.faults is None:
             self.faults = NULL_FAULTS
+        if getattr(self, "_rw", None) is None:
+            self._rw = ReadWriteLock("store")
+        self.__dict__.setdefault("mutation_epoch", 0)
         # Durability counters are session-scoped, like tracer spans: a
         # freshly loaded store reports work *it* did, not history baked
         # into the checkpoint it came from.
@@ -223,10 +242,41 @@ class ExternalStore:
                     "checkpoints_written", "checkpoint_bytes_written"):
             setattr(self, key, 0)
 
+    # ---------------------------------------------------------- concurrency
+
+    @contextmanager
+    def reading(self):
+        """Shared-mode access: queries run inside this so updates
+        serialize against them.  Reentrant — every read entry point of
+        the store takes it, and a service worker additionally wraps the
+        whole query execution."""
+        self._rw.acquire_read()
+        try:
+            yield self
+        finally:
+            self._rw.release_read()
+
+    @contextmanager
+    def writing(self, bump: bool = True):
+        """Exclusive-mode access for mutators.  Reentrant (``store_rules``
+        recurses for auxiliary procedures); the mutation epoch is bumped
+        once per *outermost* section, before the lock is released, so a
+        subsequent reader's observed epoch counts exactly the mutations
+        it can see.  ``bump=False`` is for exclusive sections that are
+        not logical mutations (checkpointing)."""
+        self._rw.acquire_write()
+        try:
+            yield self
+            if bump and self._rw.write_depth() == 1:
+                self.mutation_epoch += 1
+        finally:
+            self._rw.release_write()
+
     # ------------------------------------------------------------- metadata
 
     def lookup(self, name: str, arity: int) -> Optional[StoredProcedure]:
-        return self._procs.get((name, arity))
+        with self.reading():
+            return self._procs.get((name, arity))
 
     def get(self, name: str, arity: int) -> StoredProcedure:
         proc = self.lookup(name, arity)
@@ -235,7 +285,8 @@ class ExternalStore:
         return proc
 
     def procedures(self) -> List[StoredProcedure]:
-        return list(self._procs.values())
+        with self.reading():
+            return list(self._procs.values())
 
     def _register(self, proc: StoredProcedure) -> None:
         if (proc.name, proc.arity) in self._procs:
@@ -259,33 +310,35 @@ class ExternalStore:
         Auxiliary procedures synthesised for control constructs are
         stored recursively, so the EDB is self-contained.
         """
-        self._check_writable()
-        aux_sink: List[Tuple[str, int, list]] = []
-        store_ctx = CompileContext(
-            context.dictionary,
-            define_procedure=lambda n, a, c: aux_sink.append((n, a, c)))
-        compiler = ClauseCompiler(store_ctx)
+        with self.writing():
+            self._check_writable()
+            aux_sink: List[Tuple[str, int, list]] = []
+            store_ctx = CompileContext(
+                context.dictionary,
+                define_procedure=lambda n, a, c: aux_sink.append((n, a, c)))
+            compiler = ClauseCompiler(store_ctx)
 
-        payloads: List[dict] = []
-        for clause in clauses:
-            compiled = compiler.compile_clause(clause)
-            head, body = split_clause(clause)
-            head_args = head.args if isinstance(head, Struct) else ()
-            relative = encode_code(compiled.code, context.dictionary,
-                                   self.external_dict)
-            payloads.append({
-                "code": relative,
-                "summaries": tuple(summarize_arg(a) for a in head_args),
-                "has_body": bool(body),
-            })
-        proc = self._apply_rules(name, arity, payloads)
-        self._log({"op": "rules", "name": name, "arity": arity,
-                   "clauses": payloads,
-                   "ext": self._ext_functors(p["code"] for p in payloads)})
+            payloads: List[dict] = []
+            for clause in clauses:
+                compiled = compiler.compile_clause(clause)
+                head, body = split_clause(clause)
+                head_args = head.args if isinstance(head, Struct) else ()
+                relative = encode_code(compiled.code, context.dictionary,
+                                       self.external_dict)
+                payloads.append({
+                    "code": relative,
+                    "summaries": tuple(summarize_arg(a) for a in head_args),
+                    "has_body": bool(body),
+                })
+            proc = self._apply_rules(name, arity, payloads)
+            self._log({"op": "rules", "name": name, "arity": arity,
+                       "clauses": payloads,
+                       "ext": self._ext_functors(
+                           p["code"] for p in payloads)})
 
-        for aux_name, aux_arity, aux_clauses in aux_sink:
-            self.store_rules(aux_name, aux_arity, aux_clauses, context)
-        return proc
+            for aux_name, aux_arity, aux_clauses in aux_sink:
+                self.store_rules(aux_name, aux_arity, aux_clauses, context)
+            return proc
 
     def _apply_rules(self, name: str, arity: int,
                      payloads: Sequence[dict]) -> StoredProcedure:
@@ -312,24 +365,26 @@ class ExternalStore:
         """Candidate clauses whose head-argument summaries are compatible
         with *assignment* (``{arg_index: summary}``) — the attribute-level
         half of pre-unification, answered by the BANG grid."""
-        proc = self.get(name, arity)
-        assignment = assignment or {}
-        if proc.mode == "facts":
-            raise CatalogError(f"{proc.key} is a facts relation")
-        rows = proc.relation.query(dict(assignment))
-        wanted = {row[arity] for row in rows}
-        # One clustered partial-match fetch for the whole procedure: the
-        # deterministic collect-at-once of §3.2.1.
-        fetched = [
-            row[2] for row in self.clauses_relation.query({0: proc.key})
-            if row[1] in wanted
-        ]
-        fetched.sort(key=lambda sc: sc.clause_id)
-        return fetched
+        with self.reading():
+            proc = self.get(name, arity)
+            assignment = assignment or {}
+            if proc.mode == "facts":
+                raise CatalogError(f"{proc.key} is a facts relation")
+            rows = proc.relation.query(dict(assignment))
+            wanted = {row[arity] for row in rows}
+            # One clustered partial-match fetch for the whole procedure:
+            # the deterministic collect-at-once of §3.2.1.
+            fetched = [
+                row[2] for row in self.clauses_relation.query({0: proc.key})
+                if row[1] in wanted
+            ]
+            fetched.sort(key=lambda sc: sc.clause_id)
+            return fetched
 
     def clause_count_pages(self, name: str, arity: int) -> int:
-        proc = self.get(name, arity)
-        return self.clauses_relation.pages_for({0: proc.key})
+        with self.reading():
+            proc = self.get(name, arity)
+            return self.clauses_relation.pages_for({0: proc.key})
 
     # ----------------------------------------------------------- facts mode
 
@@ -341,16 +396,18 @@ class ExternalStore:
         """Store an ordinary relation (code attribute false, atomic
         formats only).  ``key_dims`` selects the indexed attributes
         (default: all — full partial-match clustering)."""
-        self._check_writable()
-        if types is None:
-            types = _infer_types(rows, arity)
-        rows = [tuple(row) for row in rows]
-        key_dims = list(key_dims) if key_dims is not None else None
-        proc = self._apply_facts(name, arity, rows, list(types), key_dims)
-        self._log({"op": "facts", "name": name, "arity": arity,
-                   "rows": rows, "types": list(types),
-                   "key_dims": key_dims})
-        return proc
+        with self.writing():
+            self._check_writable()
+            if types is None:
+                types = _infer_types(rows, arity)
+            rows = [tuple(row) for row in rows]
+            key_dims = list(key_dims) if key_dims is not None else None
+            proc = self._apply_facts(name, arity, rows, list(types),
+                                     key_dims)
+            self._log({"op": "facts", "name": name, "arity": arity,
+                       "rows": rows, "types": list(types),
+                       "key_dims": key_dims})
+            return proc
 
     def _apply_facts(self, name: str, arity: int, rows: Sequence[tuple],
                      types: Sequence[str],
@@ -368,13 +425,17 @@ class ExternalStore:
 
     def fetch_facts(self, name: str, arity: int,
                     assignment: Optional[Dict[int, Any]] = None
-                    ) -> Iterator[tuple]:
-        proc = self.get(name, arity)
-        if proc.mode != "facts":
-            raise CatalogError(f"{proc.key} is not a facts relation")
-        if assignment:
-            return proc.relation.query(dict(assignment))
-        return proc.relation.scan()
+                    ) -> List[tuple]:
+        """Matching tuples, materialised *inside* the read lock — a lazy
+        iterator would keep reading pages after the lock was released,
+        racing any concurrent update."""
+        with self.reading():
+            proc = self.get(name, arity)
+            if proc.mode != "facts":
+                raise CatalogError(f"{proc.key} is not a facts relation")
+            if assignment:
+                return list(proc.relation.query(dict(assignment)))
+            return list(proc.relation.scan())
 
     def relation_of(self, name: str, arity: int) -> BangRelation:
         """Direct relational-engine access to a facts relation — the
@@ -387,21 +448,22 @@ class ExternalStore:
                      clauses: Sequence[Term]) -> StoredProcedure:
         """Store rules as *source text* — the Educe predecessor's scheme
         (§2.3), kept as the baseline the paper measures against."""
-        self._check_writable()
-        from ..lang.writer import format_clause
-        payloads: List[dict] = []
-        for clause in clauses:
-            head, body = split_clause(clause)
-            head_args = head.args if isinstance(head, Struct) else ()
-            payloads.append({
-                "source": format_clause(clause),
-                "summaries": tuple(summarize_arg(a) for a in head_args),
-                "has_body": bool(body),
-            })
-        proc = self._apply_source(name, arity, payloads)
-        self._log({"op": "source", "name": name, "arity": arity,
-                   "clauses": payloads})
-        return proc
+        with self.writing():
+            self._check_writable()
+            from ..lang.writer import format_clause
+            payloads: List[dict] = []
+            for clause in clauses:
+                head, body = split_clause(clause)
+                head_args = head.args if isinstance(head, Struct) else ()
+                payloads.append({
+                    "source": format_clause(clause),
+                    "summaries": tuple(summarize_arg(a) for a in head_args),
+                    "has_body": bool(body),
+                })
+            proc = self._apply_source(name, arity, payloads)
+            self._log({"op": "source", "name": name, "arity": arity,
+                       "clauses": payloads})
+            return proc
 
     def _apply_source(self, name: str, arity: int,
                       payloads: Sequence[dict]) -> StoredProcedure:
@@ -424,30 +486,31 @@ class ExternalStore:
     def assert_clause(self, name: str, arity: int, clause: Term,
                       context: CompileContext) -> None:
         """Append a clause to a stored rules procedure."""
-        self._check_writable()
-        proc = self.get(name, arity)
-        if proc.mode == "facts":
-            head, _ = split_clause(clause)
-            values = _fact_values(head)
-            self._apply_assert_fact(name, arity, values)
-            self._log({"op": "assert_fact", "name": name, "arity": arity,
-                       "values": values})
-            return
-        compiler = ClauseCompiler(context)
-        compiled = compiler.compile_clause(clause)
-        head, body = split_clause(clause)
-        head_args = head.args if isinstance(head, Struct) else ()
-        relative = encode_code(compiled.code, context.dictionary,
-                               self.external_dict)
-        payload = {
-            "code": relative,
-            "summaries": tuple(summarize_arg(a) for a in head_args),
-            "has_body": bool(body),
-        }
-        self._apply_assert_rule(name, arity, payload)
-        self._log({"op": "assert_rule", "name": name, "arity": arity,
-                   "clause": payload,
-                   "ext": self._ext_functors([payload["code"]])})
+        with self.writing():
+            self._check_writable()
+            proc = self.get(name, arity)
+            if proc.mode == "facts":
+                head, _ = split_clause(clause)
+                values = _fact_values(head)
+                self._apply_assert_fact(name, arity, values)
+                self._log({"op": "assert_fact", "name": name,
+                           "arity": arity, "values": values})
+                return
+            compiler = ClauseCompiler(context)
+            compiled = compiler.compile_clause(clause)
+            head, body = split_clause(clause)
+            head_args = head.args if isinstance(head, Struct) else ()
+            relative = encode_code(compiled.code, context.dictionary,
+                                   self.external_dict)
+            payload = {
+                "code": relative,
+                "summaries": tuple(summarize_arg(a) for a in head_args),
+                "has_body": bool(body),
+            }
+            self._apply_assert_rule(name, arity, payload)
+            self._log({"op": "assert_rule", "name": name, "arity": arity,
+                       "clause": payload,
+                       "ext": self._ext_functors([payload["code"]])})
 
     def _apply_assert_fact(self, name: str, arity: int,
                            values: tuple) -> None:
@@ -473,10 +536,11 @@ class ExternalStore:
         proc.version += 1
 
     def retract_clause(self, name: str, arity: int, clause_id: int) -> None:
-        self._check_writable()
-        self._apply_retract(name, arity, clause_id)
-        self._log({"op": "retract", "name": name, "arity": arity,
-                   "clause_id": clause_id})
+        with self.writing():
+            self._check_writable()
+            self._apply_retract(name, arity, clause_id)
+            self._log({"op": "retract", "name": name, "arity": arity,
+                       "clause_id": clause_id})
 
     def _apply_retract(self, name: str, arity: int, clause_id: int) -> None:
         proc = self.get(name, arity)
@@ -584,7 +648,15 @@ class ExternalStore:
         a fresh epoch sidecar (``path + ".pages.NNNNNNNN"``).  On
         success the store is *homed* at *path*: a fresh WAL generation
         starts and subsequent mutations are logged for replay.
+
+        Runs under the write lock (non-bumping): the checkpoint excludes
+        concurrent queries while it compacts pages and reshapes the
+        WAL, but is not itself a logical mutation.
         """
+        with self.writing(bump=False):
+            self._save_locked(path)
+
+    def _save_locked(self, path: str) -> None:
         self.pager.flush()
         disk = self.pager.disk
         faults = self.faults
@@ -827,6 +899,8 @@ class ExternalStore:
             "checkpoints_written": self.checkpoints_written,
             "checkpoint_bytes_written": self.checkpoint_bytes_written,
         })
+        counters.update(self._rw.counters())
+        counters["store_mutations"] = self.mutation_epoch
         return counters
 
     def reset_counters(self) -> None:

@@ -111,7 +111,7 @@ class RelationalOps:
         else:
             # an empty relation still needs a schema: single atom column
             store.store_facts(name, arity, [], types=["atom"] * arity)
-        self.session.loader.invalidate()
+        self.session.loader.invalidate(name, arity)
         self.materialised += 1
 
     def _pattern_assignment(self, m, cell, arity: int) -> Dict[int, object]:
@@ -203,7 +203,7 @@ class RelationalOps:
         store.catalog.drop(stored.relation.schema.name)
         del store._procs[(name, arity)]
         store.procs_relation.delete_where({0: name, 1: arity})
-        self.session.loader.invalidate()
+        self.session.loader.invalidate(name, arity)
         return True
 
 

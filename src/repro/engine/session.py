@@ -96,13 +96,16 @@ class EduceStar:
         self.parsed_chars += len(text)
         self.machine.consult(text)
 
-    def store_program(self, text: str) -> None:
-        """Compile a program and store it in the EDB as relative code."""
+    def store_program(self, text: str) -> List[Tuple[str, int]]:
+        """Compile a program and store it in the EDB as relative code.
+
+        Returns the affected procedure indicators (the service uses
+        them to broadcast per-procedure cache invalidation)."""
         self.parsed_chars += len(text)
         clauses = list(self.machine.reader.read_terms(text))
-        self.store_clauses(clauses)
+        return self.store_clauses(clauses)
 
-    def store_clauses(self, clauses: List[Term]) -> None:
+    def store_clauses(self, clauses: List[Term]) -> List[Tuple[str, int]]:
         from ..edb.store import summarize_arg
         grouped: Dict[Tuple[str, int], List[Term]] = {}
         order: List[Tuple[str, int]] = []
@@ -122,7 +125,9 @@ class EduceStar:
         for name, arity in order:
             self.store.store_rules(name, arity, grouped[(name, arity)],
                                    self.machine.ctx)
-        self.loader.invalidate()
+        for name, arity in order:
+            self.loader.invalidate(name, arity)
+        return order
 
     def store_relation(self, name: str, rows: List[tuple],
                        types: Optional[List[str]] = None,
@@ -142,15 +147,16 @@ class EduceStar:
             for row in rows:
                 self.types.check_fact_row(name, row)
         self.store.store_facts(name, arity, rows, types, key_dims)
-        self.loader.invalidate()
+        self.loader.invalidate(name, arity)
 
-    def assert_external(self, clause_text: str) -> None:
+    def assert_external(self, clause_text: str) -> Tuple[str, int]:
         """Assert a clause into a stored EDB procedure."""
         clause = self.machine.reader.read_term(clause_text)
         head, _ = split_clause(clause)
         arity = head.arity if isinstance(head, Struct) else 0
         self.store.assert_clause(head.name, arity, clause, self.machine.ctx)
-        self.loader.invalidate()
+        self.loader.invalidate(head.name, arity)
+        return (head.name, arity)
 
     # ----------------------------------------------------------------- query
 

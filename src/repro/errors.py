@@ -96,3 +96,33 @@ class WalError(StorageError):
     """The write-ahead log refused an operation (oversized record,
     detached file).  Corrupt/torn frames are *not* errors: recovery
     treats them as the uncommitted tail and truncates them."""
+
+
+class LockOrderError(ReproError):
+    """A lock acquisition that would deadlock by construction (e.g. a
+    read→write upgrade on the same
+    :class:`~repro.locks.ReadWriteLock`)."""
+
+
+class ServiceError(ReproError):
+    """Base class for concurrent query service (:mod:`repro.service`)
+    errors."""
+
+
+class ServiceClosed(ServiceError):
+    """A submission arrived after the service began shutting down."""
+
+
+class ServiceSaturated(ServiceError):
+    """The bounded work queue could not admit a submission."""
+
+
+class QueryInterrupted(ServiceError):
+    """A running query was cancelled or exceeded its deadline.
+
+    ``reason`` is ``"cancelled"`` or ``"deadline"``.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(f"query interrupted ({reason})")
+        self.reason = reason

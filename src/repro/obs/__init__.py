@@ -23,6 +23,7 @@ session imports us), so any layer — ``wam``, ``bang``, ``edb``,
 """
 
 from .registry import DEFAULT_GAUGE_KEYS, Histogram, MetricsRegistry
+from .threadlocal import ThreadLocalCounters
 from .tracing import NULL_TRACER, NullTracer, Span, Tracer
 from .profile import QueryProfile, write_json_lines
 
@@ -33,6 +34,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Span",
+    "ThreadLocalCounters",
     "Tracer",
     "QueryProfile",
     "write_json_lines",

@@ -35,6 +35,8 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 #: Attach-time ``gauges=`` extends this per source; see the glossary.
 DEFAULT_GAUGE_KEYS = frozenset({
     "pages", "buffer_resident", "heap_high_water", "pages_quarantined",
+    "buffer_pinned", "loader_cache_entries", "store_mutations",
+    "service_queue_depth", "service_workers",
 })
 
 

@@ -1,0 +1,385 @@
+"""The concurrent query service — N WAM machines over one shared EDB.
+
+Paper §3.3: "Educe* is a multi-user system ... the code of a procedure
+stored in the EDB is compiled once and executed by every session."  The
+reproduction's unit of sharing is the :class:`~repro.edb.store.
+ExternalStore`; everything *per-session* (WAM heap and stacks, internal
+dictionary, loader cache) is private to a worker, so workers never
+contend on machine state — only on storage, exactly as in the paper's
+architecture.
+
+Design (full locking discipline in ``docs/CONCURRENCY.md``):
+
+* Each worker thread owns one :class:`~repro.engine.session.EduceStar`
+  built over the shared store.  Queries run under the store's shared
+  **read lock**; the store's ``mutation_epoch`` is captured right after
+  lock acquisition, which linearizes every query against the writer
+  stream (the differential concurrency suite replays the serial oracle
+  from exactly these epochs).
+* Updates go through :meth:`QueryService.store_program` /
+  :meth:`store_relation` / :meth:`assert_external`, which run on a
+  dedicated admin session under the exclusive write lock and then
+  broadcast **per-procedure** cache invalidation to every worker's
+  loader — never a global ``clear()`` stampede; unrelated procedures
+  keep their cached code blocks.
+* Submissions are tickets on a bounded queue (`ServiceSaturated` when
+  full, `ServiceClosed` after shutdown begins).  A ticket may carry a
+  deadline; a running query is interrupted cooperatively through the
+  WAM's instruction-poll hook, surfacing as
+  :exc:`~repro.errors.QueryInterrupted`.
+* Service counters are striped per thread
+  (:class:`~repro.obs.threadlocal.ThreadLocalCounters`) — no lock on
+  the completion hot path — and merge into the service's
+  :class:`~repro.obs.registry.MetricsRegistry` beside the shared
+  store's I/O counters and every worker's machine/loader counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..engine.session import EduceStar
+from ..errors import QueryInterrupted, ServiceClosed, ServiceSaturated
+from ..obs import MetricsRegistry, ThreadLocalCounters
+from ..obs.tracing import NULL_TRACER
+
+#: A query is either a Prolog goal string (solved on the worker's
+#: session, solutions collected eagerly under the read lock) or a
+#: callable ``fn(session) -> value`` for programmatic access — e.g. the
+#: relational interface or multi-goal transactions-of-reads.
+Goal = Union[str, Callable[[EduceStar], object]]
+
+_QUEUED = "queued"
+_RUNNING = "running"
+_DONE = "done"
+_CANCELLED = "cancelled"
+_TIMEOUT = "timeout"
+_FAILED = "failed"
+
+
+class QueryTicket:
+    """A submitted query: future-style handle with cancellation.
+
+    States: ``queued`` → ``running`` → one of ``done`` / ``cancelled``
+    / ``timeout`` / ``failed`` (cancellation and deadline expiry can
+    also strike while still queued).
+    """
+
+    def __init__(self, ticket_id: int, goal: Goal,
+                 limit: Optional[int], deadline: Optional[float]):
+        self.id = ticket_id
+        self.goal = goal
+        self.limit = limit
+        self.state = _QUEUED
+        #: store ``mutation_epoch`` observed under the read lock — the
+        #: query saw exactly the first ``store_epoch`` mutations.
+        self.store_epoch: Optional[int] = None
+        self.value: object = None
+        self.error: Optional[BaseException] = None
+        self.worker: Optional[str] = None
+        self._deadline = deadline          # time.monotonic() basis
+        self._cancel = threading.Event()
+        self._finished = threading.Event()
+
+    # ------------------------------------------------------------- consumer
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns False if already finished.
+
+        A queued ticket is dropped when a worker dequeues it; a running
+        query is interrupted at its next instruction poll."""
+        if self._finished.is_set():
+            return False
+        self._cancel.set()
+        return True
+
+    def done(self) -> bool:
+        return self._finished.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._finished.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        """Block for the outcome.
+
+        Returns the query's value (list of
+        :class:`~repro.wam.machine.Solution` for goal strings, the
+        callable's return value otherwise).  Raises
+        :exc:`QueryInterrupted` for cancelled/timed-out tickets, the
+        original exception for failed ones, :exc:`TimeoutError` if the
+        ticket is still unfinished after *timeout* seconds."""
+        if not self._finished.wait(timeout):
+            raise TimeoutError(f"ticket {self.id} still {self.state}")
+        if self.state == _CANCELLED:
+            raise QueryInterrupted("cancelled")
+        if self.state == _TIMEOUT:
+            raise QueryInterrupted("deadline")
+        if self.state == _FAILED:
+            assert self.error is not None
+            raise self.error
+        return self.value
+
+    # ------------------------------------------------------------- internal
+
+    def _finish(self, state: str, value: object = None,
+                error: Optional[BaseException] = None) -> None:
+        self.state = state
+        self.value = value
+        self.error = error
+        self._finished.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryTicket(id={self.id}, state={self.state!r})"
+
+
+class QueryService:
+    """N worker sessions over one shared store, behind a bounded queue.
+
+    ``store`` may be an existing :class:`ExternalStore` (e.g. one
+    opened from a durable path) or None for a fresh in-memory EDB.
+    Extra keyword arguments are forwarded to every worker's
+    :class:`EduceStar` constructor (``preunify_depth``, ``index``,
+    ...).
+    """
+
+    def __init__(self, store=None, workers: int = 4,
+                 queue_size: int = 64, poll_interval: int = 512,
+                 **session_kwargs):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if queue_size < 1:
+            raise ValueError("need a positive queue bound")
+        #: the admin session is built first: it creates the store when
+        #: none is given and is the single session used for updates.
+        self.admin = EduceStar(store=store, **session_kwargs)
+        self.store = self.admin.store
+        self.sessions: List[EduceStar] = [
+            EduceStar(store=self.store, **session_kwargs)
+            for _ in range(workers)
+        ]
+        for session in self.sessions:
+            session.machine.poll_interval = poll_interval
+        # Every EduceStar constructor re-points the *shared* pager's
+        # tracer at its own; under concurrency a shared mutable tracer
+        # is a race, so the pager reverts to the free null tracer.
+        self.store.pager.tracer = NULL_TRACER
+
+        self._queue: "queue.Queue[QueryTicket]" = queue.Queue(queue_size)
+        self._queue_bound = queue_size
+        self._submit_lock = threading.Lock()
+        self._admin_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._shutdown = False
+
+        self._stats = ThreadLocalCounters()
+        self.metrics = MetricsRegistry()
+        self.metrics.attach(self)
+        self.metrics.attach(self.store)   # io_counters: pager + WAL + locks
+        for session in self.sessions:
+            self.metrics.attach(session.machine)
+            self.metrics.attach(session.loader)
+
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             args=(session,),
+                             name=f"educe-worker-{i}", daemon=True)
+            for i, session in enumerate(self.sessions)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, goal: Goal, limit: Optional[int] = None,
+               timeout: Optional[float] = None) -> QueryTicket:
+        """Enqueue one query; returns its ticket.
+
+        *timeout* is the query's deadline in seconds, measured from
+        submission (queue wait counts).  Raises :exc:`ServiceClosed`
+        after shutdown began, :exc:`ServiceSaturated` when the bounded
+        queue is full."""
+        return self._admit([(goal, limit, timeout)])[0]
+
+    def submit_many(self, goals: Sequence[Goal],
+                    limit: Optional[int] = None,
+                    timeout: Optional[float] = None) -> List[QueryTicket]:
+        """Atomically enqueue a batch: either every goal is admitted
+        (in order) or none is and :exc:`ServiceSaturated` is raised."""
+        return self._admit([(goal, limit, timeout) for goal in goals])
+
+    def execute(self, goal: Goal, limit: Optional[int] = None,
+                timeout: Optional[float] = None) -> object:
+        """Submit and block for the result (convenience)."""
+        return self.submit(goal, limit=limit, timeout=timeout).result()
+
+    def _admit(self, specs: Iterable[Tuple[Goal, Optional[int],
+                                           Optional[float]]]
+               ) -> List[QueryTicket]:
+        specs = list(specs)
+        with self._submit_lock:
+            if self._closed:
+                self._stats.add("service_rejected", len(specs))
+                raise ServiceClosed("service is shutting down")
+            # All puts go through this lock, and concurrent gets only
+            # free space, so the capacity check cannot over-admit.
+            free = self._queue_bound - self._queue.qsize()
+            if len(specs) > free:
+                self._stats.add("service_rejected", len(specs))
+                raise ServiceSaturated(
+                    f"queue full ({len(specs)} submitted, {free} free)")
+            tickets = []
+            now = time.monotonic()
+            for goal, limit, timeout in specs:
+                deadline = None if timeout is None else now + timeout
+                ticket = QueryTicket(next(self._ids), goal, limit, deadline)
+                self._queue.put_nowait(ticket)
+                tickets.append(ticket)
+            self._stats.add("service_submitted", len(tickets))
+        return tickets
+
+    # --------------------------------------------------------------- updates
+
+    def store_program(self, text: str) -> None:
+        """Store a program in the shared EDB (exclusive write lock),
+        then invalidate exactly the affected procedures everywhere."""
+        with self._admin_lock:
+            indicators = self.admin.store_program(text)
+        self._broadcast_invalidate(indicators)
+
+    def store_relation(self, name: str, rows: List[tuple],
+                       **kwargs) -> None:
+        with self._admin_lock:
+            self.admin.store_relation(name, rows, **kwargs)
+            arity = len(rows[0])
+        self._broadcast_invalidate([(name, arity)])
+
+    def assert_external(self, clause_text: str) -> None:
+        with self._admin_lock:
+            indicator = self.admin.assert_external(clause_text)
+        self._broadcast_invalidate([indicator])
+
+    def _broadcast_invalidate(
+            self, indicators: Iterable[Tuple[str, int]]) -> None:
+        # Correctness never depends on this broadcast — cache keys
+        # carry the procedure version — it reclaims worker memory and
+        # keeps every loader's cache_epoch advancing with the writer.
+        for name, arity in indicators:
+            for session in self.sessions:
+                session.loader.invalidate(name, arity)
+
+    # -------------------------------------------------------------- shutdown
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (default) queued tickets finish first; with
+        ``drain=False`` queued tickets are cancelled and only in-flight
+        queries run to completion.  *timeout* bounds the total join
+        wait; workers still running after it are abandoned (daemon
+        threads)."""
+        with self._submit_lock:
+            self._closed = True
+        if not drain:
+            while True:
+                try:
+                    ticket = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                ticket._finish(_CANCELLED)
+                self._stats.add("service_cancelled")
+        self._shutdown = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ---------------------------------------------------------- worker side
+
+    def _worker_loop(self, session: EduceStar) -> None:
+        while True:
+            try:
+                ticket = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._shutdown:
+                    return
+                continue
+            self._run_ticket(session, ticket)
+
+    def _run_ticket(self, session: EduceStar, ticket: QueryTicket) -> None:
+        if ticket._cancel.is_set():
+            ticket._finish(_CANCELLED)
+            self._stats.add("service_cancelled")
+            return
+        now = time.monotonic()
+        if ticket._deadline is not None and now >= ticket._deadline:
+            ticket._finish(_TIMEOUT)
+            self._stats.add("service_timeouts")
+            return
+
+        ticket.state = _RUNNING
+        ticket.worker = threading.current_thread().name
+        machine = session.machine
+        cancel = ticket._cancel
+        ticket_deadline = ticket._deadline
+
+        def poll(_machine):
+            if cancel.is_set():
+                raise QueryInterrupted("cancelled")
+            if (ticket_deadline is not None
+                    and time.monotonic() >= ticket_deadline):
+                raise QueryInterrupted("deadline")
+
+        machine.poll_hook = poll
+        try:
+            # The whole query runs under the shared read lock: a writer
+            # can never interleave mid-query, so capturing the epoch
+            # here pins the query to one point of the mutation order.
+            with self.store.reading():
+                ticket.store_epoch = self.store.mutation_epoch
+                if callable(ticket.goal):
+                    value = ticket.goal(session)
+                else:
+                    value = list(session.solve(ticket.goal,
+                                               limit=ticket.limit))
+        except QueryInterrupted as interrupted:
+            if interrupted.reason == "deadline":
+                ticket._finish(_TIMEOUT)
+                self._stats.add("service_timeouts")
+            else:
+                ticket._finish(_CANCELLED)
+                self._stats.add("service_cancelled")
+        except BaseException as error:  # noqa: BLE001 - recorded on ticket
+            ticket._finish(_FAILED, error=error)
+            self._stats.add("service_failed")
+        else:
+            ticket._finish(_DONE, value=value)
+            self._stats.add("service_completed")
+        finally:
+            machine.poll_hook = None
+
+    # -------------------------------------------------------------- counters
+
+    def counters(self) -> dict:
+        counters = dict.fromkeys((
+            "service_submitted", "service_completed", "service_failed",
+            "service_cancelled", "service_timeouts", "service_rejected",
+        ), 0)
+        counters.update(self._stats.counters())
+        counters["service_queue_depth"] = self._queue.qsize()
+        counters["service_workers"] = sum(
+            1 for t in self._threads if t.is_alive())
+        return counters

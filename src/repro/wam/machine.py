@@ -229,6 +229,14 @@ class Machine:
         from .builtins import BUILTINS  # registers indicators on import
         self.builtins = dict(BUILTINS)  # copy: sessions add their own
 
+        # Cooperative interruption (repro.service): when set, the hook
+        # is called every ``poll_interval`` instructions from inside
+        # :meth:`_run` and may raise (e.g. QueryInterrupted) to abort
+        # the query.  Kept as instance attributes so each worker
+        # machine can be interrupted independently.
+        self.poll_hook: Optional[Callable] = None
+        self.poll_interval = 2048
+
         self._dispatch = self._build_dispatch()
         self._nil_id = self.dictionary.intern("[]", 0)
         self._metacall_cache: Dict[str, Tuple[str, int]] = {}
@@ -500,6 +508,9 @@ class Machine:
         dispatch = self._dispatch
         cost = _DATA_COST
         hook = self.trace_hook
+        poll = self.poll_hook
+        poll_interval = self.poll_interval
+        since_poll = 0
         while True:
             instr = self.code[self.pc]
             self.pc += 1
@@ -508,6 +519,11 @@ class Machine:
             self.data_refs += cost[op]
             if hook is not None:
                 hook(self, instr)
+            if poll is not None:
+                since_poll += 1
+                if since_poll >= poll_interval:
+                    since_poll = 0
+                    poll(self)
             result = dispatch[op](instr)
             if result is None:
                 continue

@@ -124,6 +124,7 @@ def _exists(path: str) -> bool:
 class TestDocLinks:
     @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md",
                                      "docs/OBSERVABILITY.md",
+                                     "docs/CONCURRENCY.md",
                                      "EXPERIMENTS.md"])
     def test_inline_code_paths_exist(self, doc):
         text = read_doc(doc)

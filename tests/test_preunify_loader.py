@@ -125,6 +125,40 @@ class TestLoader:
         s.assert_external("r(2)")
         assert [sol["X"] for sol in s.solve("r(X)")] == [1, 2]
 
+    def test_per_procedure_invalidation_spares_unrelated(self):
+        # Regression: invalidate() used to clear the WHOLE cache on any
+        # mutation — every procedure re-resolved after every assert.
+        s = make_session()
+        s.store_program(PROG)
+        s.store_program("r(1).")
+        s.solve_once("p(a, _)")
+        s.solve_once("r(X)")
+        loads = s.loader.loads
+        hits = s.loader.cache_hits
+        entries = s.loader.counters()["loader_cache_entries"]
+
+        s.assert_external("r(2)")           # invalidates r/1 only
+        assert s.loader.counters()["loader_cache_entries"] < entries
+        s.solve_once("p(a, _)")             # unrelated: still cached
+        assert s.loader.loads == loads
+        assert s.loader.cache_hits == hits + 1, (
+            "cache_hits must keep accruing, never reset")
+        assert [sol["X"] for sol in s.solve("r(X)")] == [1, 2]
+
+    def test_invalidate_returns_dropped_and_bumps_epoch(self):
+        s = make_session()
+        s.store_program(PROG)
+        s.store_program("r(1).")
+        s.solve_once("p(a, _)")
+        s.solve_once("r(X)")
+        epoch = s.loader.cache_epoch
+        assert s.loader.invalidate("r", 1) == 1
+        assert s.loader.invalidate("r", 1) == 0   # already pruned
+        assert s.loader.cache_epoch == epoch + 2  # monotone per call
+        dropped_all = s.loader.invalidate()       # global clear
+        assert dropped_all >= 1
+        assert s.loader.counters()["loader_cache_entries"] == 0
+
     def test_resolutions_counted(self):
         s = make_session()
         s.store_program(PROG)

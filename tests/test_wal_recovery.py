@@ -562,3 +562,103 @@ class TestRecoveryReport:
         text = report.format()
         assert "torn tail truncated" in text
         assert "assert_fact=1" in text
+
+
+# ------------------------------------------- crashes under concurrency
+
+
+@pytest.mark.fault_injection
+class TestCrashWithConcurrentReaders:
+    """The crash matrix, with company: the fault fires while reader
+    threads hold **pinned** buffer pages (the §2.2 block-at-a-time
+    contract mid-iteration).  Pins are volatile state — they must
+    neither leak into the checkpoint image nor affect what recovery
+    rebuilds: reopen always yields the last committed state."""
+
+    @staticmethod
+    def _pinned_readers(store, hold, pinned):
+        """Threads that pin every allocated page and hold the pins."""
+        pids = list(range(store.pager.disk.page_count))
+
+        def reader(pid):
+            with store.pager.pinned(pid):
+                pinned.wait(10)     # all pins taken before the crash
+                hold.wait(10)       # released only after the crash
+
+        threads = [__import__("threading").Thread(target=reader,
+                                                  args=(pid,))
+                   for pid in pids]
+        for t in threads:
+            t.start()
+        return threads
+
+    @pytest.mark.parametrize("crash_point,rows_after", [
+        ("wal.append.before", 2),   # op never logged: not committed
+        ("wal.append.mid", 2),      # torn frame: truncated, not committed
+        ("wal.append.synced", 3),   # synced: committed, must replay
+    ])
+    def test_crash_during_append_with_pinned_pages(self, tmp_path, ctx,
+                                                   crash_point,
+                                                   rows_after):
+        import threading
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        # eviction pressure: the pool is far smaller than the page set,
+        # so the pinned frames are exactly what eviction would pick
+        store.pager.buffer.capacity = 2
+
+        hold, pinned = threading.Event(), threading.Event()
+        threads = self._pinned_readers(store, hold, pinned)
+        try:
+            assert store.pager.io_counters()["buffer_pinned"] >= 1
+            pinned.set()
+            arm(store, FaultInjector().arm_crash_point(crash_point))
+            with pytest.raises(InjectedCrash):
+                store.assert_clause("edge", 2, read_term("edge(9,9)"),
+                                    ctx)
+        finally:
+            pinned.set()
+            hold.set()
+            for t in threads:
+                t.join(10)
+
+        counters = store.pager.io_counters()
+        assert counters["buffer_pins"] == counters["buffer_unpins"]
+        assert counters["buffer_pinned"] == 0
+
+        reopened = ExternalStore.open(path, create=False)
+        assert len(edge_rows(reopened)) == rows_after
+        assert not reopened.recovery.errors
+        fresh = reopened.pager.io_counters()
+        assert fresh["buffer_pinned"] == 0      # pins never persist
+
+    @pytest.mark.parametrize("crash_point", [
+        "checkpoint.write.mid",
+        "checkpoint.pre_rename",
+        "checkpoint.post_rename",
+    ])
+    def test_crash_during_checkpoint_with_pinned_pages(self, tmp_path,
+                                                       ctx, crash_point):
+        import threading
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.assert_clause("edge", 2, read_term("edge(9,9)"), ctx)
+        store.pager.buffer.capacity = 2
+
+        hold, pinned = threading.Event(), threading.Event()
+        threads = self._pinned_readers(store, hold, pinned)
+        try:
+            pinned.set()
+            arm(store, FaultInjector().arm_crash_point(crash_point))
+            with pytest.raises(InjectedCrash):
+                store.save(path)
+        finally:
+            pinned.set()
+            hold.set()
+            for t in threads:
+                t.join(10)
+
+        reopened = ExternalStore.open(path, create=False)
+        assert len(edge_rows(reopened)) == 3
+        assert not reopened.recovery.errors
+        assert reopened.pager.io_counters()["buffer_pinned"] == 0
