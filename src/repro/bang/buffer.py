@@ -23,7 +23,15 @@ query service, so it is a proper latched buffer manager:
   coalesce: one thread reads the disc, the others wait on an in-flight
   event and then take the admitted frame.  The latch is *released*
   around the disc read, so simulated (or real) disc latency overlaps
-  across threads instead of serialising behind the latch.
+  across threads instead of serialising behind the latch;
+* **write-backs outside the latch** — dirty-victim eviction and
+  :meth:`flush` snapshot what must be written under the latch and
+  perform the disc writes after releasing it, so a checkpoint flush
+  (real fsync-backed writes under ``FileDiskStore``) never stalls
+  every reader's page access.  An in-flight write-back is marked in
+  the same in-flight table as a miss read, so a concurrent fetch of
+  the victim waits for the write to land instead of reading a stale
+  disc image.
 
 Pin balance is a correctness invariant: after a quiescent run,
 ``buffer_pins == buffer_unpins`` and the ``buffer_pinned`` gauge is 0 —
@@ -56,7 +64,9 @@ class BufferPool:
         self._dirty: set = set()
         #: page id → pin count (only pages with a live pin appear)
         self._pins: Dict[int, int] = {}
-        #: page id → event set once an in-flight disc read is admitted
+        #: page id → event set once an in-flight disc *read* is
+        #: admitted or an in-flight eviction *write-back* has landed;
+        #: fetches and installs of such a page wait on the event
         self._loading: Dict[int, threading.Event] = {}
         self.hits = 0
         self.misses = 0
@@ -94,19 +104,30 @@ class BufferPool:
 
     def put(self, page_id: int, payload: Any) -> None:
         """Install a new payload for the page and mark it dirty."""
-        with self._latch:
-            if page_id in self._frames:
-                self._frames[page_id] = payload
-                self._frames.move_to_end(page_id)
-            else:
-                self._admit_locked(page_id, payload)
-            self._dirty.add(page_id)
+        self._install_dirty(page_id, payload)
 
     def install(self, page_id: int, payload: Any) -> None:
         """Admit a freshly allocated page (dirty, no disc read)."""
-        with self._latch:
-            self._admit_locked(page_id, payload)
-            self._dirty.add(page_id)
+        self._install_dirty(page_id, payload)
+
+    def _install_dirty(self, page_id: int, payload: Any) -> None:
+        while True:
+            with self._latch:
+                if page_id not in self._loading:
+                    if page_id in self._frames:
+                        self._frames[page_id] = payload
+                        self._frames.move_to_end(page_id)
+                        writebacks = []
+                    else:
+                        writebacks = self._admit_locked(page_id, payload)
+                    self._dirty.add(page_id)
+                    break
+                # An in-flight read or write-back of this page: wait it
+                # out so our payload cannot be clobbered by an older
+                # image landing afterwards.
+                event = self._loading[page_id]
+            event.wait()
+        self._complete_writebacks(writebacks)
 
     def flush(self) -> None:
         """Write back every dirty frame.
@@ -114,13 +135,27 @@ class BufferPool:
         Pages are written in ascending page-id order so the physical
         write sequence is deterministic — fault-injection plans
         ("fail the Nth write", "tear the Nth write") stay reproducible
-        run over run instead of depending on set iteration order.
+        run over run instead of depending on set iteration order.  The
+        dirty set is snapshotted under the latch but the disc writes
+        happen outside it, so a checkpoint's fsync-backed flush does
+        not stall concurrent page access; a page dirtied again while
+        the flush runs simply stays dirty for the next flush.
         """
         with self._latch:
-            for page_id in sorted(self._dirty):
-                self.disk.write(page_id, self._frames.get(page_id))
-                self.writebacks += 1
+            pending = [(pid, self._frames.get(pid))
+                       for pid in sorted(self._dirty)]
             self._dirty.clear()
+        for i, (page_id, payload) in enumerate(pending):
+            try:
+                self.disk.write(page_id, payload)
+            except BaseException:
+                # Failed and not-yet-attempted pages stay dirty so a
+                # later flush (or eviction) retries them.
+                with self._latch:
+                    self._dirty.update(pid for pid, _ in pending[i:])
+                raise
+            with self._latch:
+                self.writebacks += 1
 
     def discard(self, page_id: int) -> None:
         """Drop a page from the pool without write-back (page freed).
@@ -184,22 +219,31 @@ class BufferPool:
         with self._latch:
             del self._loading[page_id]
             event.set()
+            writebacks = []
             if page_id in self._frames:
                 # A put/install raced ahead of the read; its payload is
                 # the newer one.
                 payload = self._frames[page_id]
                 self._frames.move_to_end(page_id)
             else:
-                self._admit_locked(page_id, payload)
+                writebacks = self._admit_locked(page_id, payload)
             if pin:
                 self._pin_locked(page_id)
-            return payload
+        self._complete_writebacks(writebacks)
+        return payload
 
     def _pin_locked(self, page_id: int) -> None:
         self._pins[page_id] = self._pins.get(page_id, 0) + 1
         self.pins_taken += 1
 
-    def _admit_locked(self, page_id: int, payload: Any) -> None:
+    def _admit_locked(self, page_id: int, payload: Any) -> list:
+        """Admit a frame, evicting LRU victims as needed.  Called with
+        the latch held.  Dirty victims are *not* written here: each is
+        registered in the in-flight table (so concurrent fetches wait
+        instead of reading the stale disc image) and returned; the
+        caller MUST pass the list to :meth:`_complete_writebacks` after
+        releasing the latch."""
+        writebacks = []
         while len(self._frames) >= self.capacity:
             victim = next((pid for pid in self._frames
                            if pid not in self._pins), None)
@@ -214,10 +258,38 @@ class BufferPool:
                 self.tracer.event("page.evict", page=victim,
                                   dirty=victim in self._dirty)
             if victim in self._dirty:
-                self.disk.write(victim, victim_payload)
-                self.writebacks += 1
                 self._dirty.discard(victim)
+                marker = threading.Event()
+                self._loading[victim] = marker
+                writebacks.append((victim, victim_payload, marker))
         self._frames[page_id] = payload
+        return writebacks
+
+    def _complete_writebacks(self, writebacks: list) -> None:
+        """Perform deferred dirty-victim writes outside the latch."""
+        error = None
+        for victim, payload, marker in writebacks:
+            try:
+                self.disk.write(victim, payload)
+            except BaseException as exc:
+                with self._latch:
+                    # The evicted payload was the only copy: re-admit
+                    # the frame dirty rather than lose the page.  (The
+                    # pool may briefly exceed capacity, like a pin
+                    # overflow.)
+                    self._frames[victim] = payload
+                    self._dirty.add(victim)
+                    self._loading.pop(victim, None)
+                    marker.set()
+                if error is None:
+                    error = exc
+                continue
+            with self._latch:
+                self.writebacks += 1
+                self._loading.pop(victim, None)
+                marker.set()
+        if error is not None:
+            raise error
 
     # ------------------------------------------------------------- counters
 

@@ -56,6 +56,10 @@ class DynamicLoader:
         # the stored procedure's *version* rides in the key, so an entry
         # can never serve stale code — invalidation is purely memory
         # reclamation, done per procedure (see :meth:`invalidate`).
+        # Versions are monotone per indicator even across drop+recreate
+        # (the store keeps a version floor for dropped procedures), so
+        # the key never aliases old code with new in workers whose
+        # caches were not broadcast-invalidated.
         # Latched because the service's writer path prunes a worker's
         # cache while the worker is querying (docs/CONCURRENCY.md).
         self._cache: Dict[tuple, list] = {}

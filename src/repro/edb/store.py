@@ -152,6 +152,12 @@ class ExternalStore:
         self.catalog = Catalog(self.pager, bucket_capacity)
         self.external_dict = ExternalDictionary(self.catalog)
         self._procs: Dict[Tuple[str, int], StoredProcedure] = {}
+        #: (name, arity) → smallest version a re-created procedure may
+        #: use.  Written on every drop, so versions stay monotone per
+        #: indicator across drop+recreate cycles and a loader cache key
+        #: (which carries the version) can never alias old code with
+        #: new — even in workers whose caches were not invalidated.
+        self._version_floor: Dict[Tuple[str, int], int] = {}
         self.procs_relation = self.catalog.create(RelationSchema(
             "$procedures",
             [
@@ -234,6 +240,7 @@ class ExternalStore:
         if getattr(self, "_rw", None) is None:
             self._rw = ReadWriteLock("store")
         self.__dict__.setdefault("mutation_epoch", 0)
+        self.__dict__.setdefault("_version_floor", {})
         # Durability counters are session-scoped, like tracer spans: a
         # freshly loaded store reports work *it* did, not history baked
         # into the checkpoint it came from.
@@ -291,6 +298,9 @@ class ExternalStore:
     def _register(self, proc: StoredProcedure) -> None:
         if (proc.name, proc.arity) in self._procs:
             raise CatalogError(f"{proc.key} already stored")
+        floor = self._version_floor.get((proc.name, proc.arity))
+        if floor is not None and proc.version < floor:
+            proc.version = floor
         self._procs[(proc.name, proc.arity)] = proc
         self.procs_relation.insert((proc.name, proc.arity, proc.mode))
 
@@ -423,6 +433,33 @@ class ExternalStore:
         proc.nclauses = relation.insert_many(rows)
         return proc
 
+    def materialise_facts(self, name: str, arity: int,
+                          rows: Sequence[tuple],
+                          types: Optional[Sequence[str]] = None,
+                          key_dims: Optional[Sequence[int]] = None
+                          ) -> StoredProcedure:
+        """Replace-or-create a facts relation in **one** exclusive
+        section — the relational operators' materialisation path
+        (derived relations are replaceable, unlike :meth:`store_facts`
+        which refuses to overwrite).  A concurrent reader sees either
+        the old relation or the new one, never the gap between drop
+        and store; a service worker holding the shared read lock gets
+        :class:`~repro.errors.LockOrderError` before anything mutates.
+        """
+        with self.writing():
+            self._check_writable()
+            if types is None:
+                types = _infer_types(rows, arity)
+            rows = [tuple(row) for row in rows]
+            key_dims = list(key_dims) if key_dims is not None else None
+            self._apply_drop(name, arity)
+            proc = self._apply_facts(name, arity, rows, list(types),
+                                     key_dims)
+            self._log({"op": "materialise", "name": name, "arity": arity,
+                       "rows": rows, "types": list(types),
+                       "key_dims": key_dims})
+            return proc
+
     def fetch_facts(self, name: str, arity: int,
                     assignment: Optional[Dict[int, Any]] = None
                     ) -> List[tuple]:
@@ -549,6 +586,43 @@ class ExternalStore:
         proc.nclauses -= 1
         proc.version += 1
 
+    def drop_procedure(self, name: str, arity: int) -> bool:
+        """Remove a stored procedure entirely (``db_drop/1``).
+
+        Runs under the exclusive write lock like every mutator — a
+        service worker calling this from inside a query (shared read
+        lock held) gets :class:`~repro.errors.LockOrderError` instead
+        of silently mutating under concurrent readers.  Returns False
+        when the procedure does not exist (nothing is mutated and the
+        epoch is not bumped)."""
+        if self.lookup(name, arity) is None:
+            # Fast path — also keeps db_drop of a missing relation a
+            # plain failure (not LockOrderError) under a read hold.
+            # Re-checked under the write lock before mutating.
+            return False
+        with self.writing(bump=False):
+            if (name, arity) not in self._procs:
+                return False
+            self._check_writable()
+            self._apply_drop(name, arity)
+            self._log({"op": "drop", "name": name, "arity": arity})
+            if self._rw.write_depth() == 1:
+                self.mutation_epoch += 1
+            return True
+
+    def _apply_drop(self, name: str, arity: int) -> bool:
+        proc = self._procs.pop((name, arity), None)
+        if proc is None:
+            return False
+        self.catalog.drop(proc.relation.schema.name)
+        self.procs_relation.delete_where({0: name, 1: arity})
+        if proc.mode != "facts":
+            self.clauses_relation.delete_where({0: proc.key})
+        # A re-created procedure must never reuse a version this one
+        # served under: loader cache keys carry the version.
+        self._version_floor[(name, arity)] = proc.version + 1
+        return True
+
     # ------------------------------------------------------ write-ahead log
 
     def _check_writable(self) -> None:
@@ -628,6 +702,13 @@ class ExternalStore:
         elif op == "retract":
             self._apply_retract(record["name"], record["arity"],
                                 record["clause_id"])
+        elif op == "drop":
+            self._apply_drop(record["name"], record["arity"])
+        elif op == "materialise":
+            self._apply_drop(record["name"], record["arity"])
+            self._apply_facts(record["name"], record["arity"],
+                              record["rows"], record["types"],
+                              record["key_dims"])
         else:
             raise CatalogError(f"unknown WAL record op {op!r}")
 

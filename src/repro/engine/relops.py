@@ -99,18 +99,12 @@ class RelationalOps:
 
     def _materialise(self, name: str, rows: List[tuple],
                      arity: int) -> None:
-        store = self.session.store
-        existing = store.lookup(name, arity)
-        if existing is not None:
-            # derived relations are replaceable
-            store.catalog.drop(existing.relation.schema.name)
-            del store._procs[(name, arity)]
-            store.procs_relation.delete_where({0: name, 1: arity})
-        if rows:
-            store.store_facts(name, arity, rows)
-        else:
-            # an empty relation still needs a schema: single atom column
-            store.store_facts(name, arity, [], types=["atom"] * arity)
+        # Drop-if-existing + store happen in one exclusive write-lock
+        # section (derived relations are replaceable); from a service
+        # worker holding the shared read lock this raises
+        # LockOrderError before mutating anything — route db_* writers
+        # through QueryService.execute_admin instead.
+        self.session.store.materialise_facts(name, arity, rows)
         self.session.loader.invalidate(name, arity)
         self.materialised += 1
 
@@ -196,13 +190,8 @@ class RelationalOps:
 
     def db_drop(self, m, args):
         name, arity = _indicator(m, args[0])
-        store = self.session.store
-        stored = store.lookup(name, arity)
-        if stored is None:
+        if not self.session.store.drop_procedure(name, arity):
             return False
-        store.catalog.drop(stored.relation.schema.name)
-        del store._procs[(name, arity)]
-        store.procs_relation.delete_where({0: name, 1: arity})
         self.session.loader.invalidate(name, arity)
         return True
 

@@ -98,6 +98,10 @@ class ReadWriteLock:
       procedures; mutators reading the procedures table).
     * Fresh readers queue behind waiting writers, so a stream of
       queries cannot starve an update.
+    * Releasing the write hold while a writer-nested read is still
+      held is a **write→read downgrade**: the residual read becomes a
+      real shared hold, so a queued writer waits for its release
+      instead of sneaking past an unregistered reader.
     * A read→write upgrade raises :class:`LockOrderError` — two
       upgrading readers would deadlock each other, so the attempt is a
       bug, not a wait.
@@ -144,9 +148,18 @@ class ReadWriteLock:
 
     def acquire_read(self) -> None:
         me = threading.get_ident()
-        if self._writer == me or self._read_depth() > 0:
-            # Reentrant (or writer reading its own store): no queueing.
-            self._local.read_depth = self._read_depth() + 1
+        depth = self._read_depth()
+        if depth > 0:
+            # Reentrant: no queueing, no fresh registration.
+            self._local.read_depth = depth + 1
+            return
+        if self._writer == me:
+            # Writer reading its own store: the hold is never counted
+            # in _active_readers, and the thread-local flag remembers
+            # that so a non-LIFO release (write dropped before the
+            # read) cannot decrement the reader count it never bumped.
+            self._local.read_depth = 1
+            self._local.read_counted = False
             return
         with self._cond:
             self.read_acquisitions += 1
@@ -156,6 +169,7 @@ class ReadWriteLock:
                     self._cond.wait()
             self._active_readers += 1
         self._local.read_depth = 1
+        self._local.read_counted = True
 
     def release_read(self) -> None:
         depth = self._read_depth()
@@ -163,8 +177,12 @@ class ReadWriteLock:
             raise RuntimeError(f"{self.name}: release_read without "
                                "a matching acquire_read")
         self._local.read_depth = depth - 1
-        if depth > 1 or self._writer == threading.get_ident():
+        if depth > 1:
             return
+        if not getattr(self._local, "read_counted", False):
+            # Writer-nested hold: was never registered as a reader.
+            return
+        self._local.read_counted = False
         with self._cond:
             self._active_readers -= 1
             if self._active_readers == 0:
@@ -201,8 +219,16 @@ class ReadWriteLock:
         self._writer_depth -= 1
         if self._writer_depth > 0:
             return
+        downgrade = self._read_depth() > 0
         with self._cond:
             self._writer = None
+            if downgrade:
+                # Write→read downgrade: the thread still holds a
+                # writer-nested (uncounted) read, so register it as a
+                # real shared hold before waking anyone — a queued
+                # writer must wait for this thread's release_read.
+                self._active_readers += 1
+                self._local.read_counted = True
             self._cond.notify_all()
 
     def write_depth(self) -> int:

@@ -91,10 +91,21 @@ class QueryTicket:
         """Request cancellation; returns False if already finished.
 
         A queued ticket is dropped when a worker dequeues it; a running
-        query is interrupted at its next instruction poll."""
+        query is interrupted at its next instruction poll.  Because
+        cancellation is cooperative, a True return is *advisory* for a
+        running query — the worker may still complete it before the
+        next poll fires; only :meth:`result` reports the actual
+        outcome.  A finish that races this call is detected: if the
+        ticket completed between the check and the flag, the return
+        value reflects the final state rather than promising a
+        cancellation that can no longer happen."""
         if self._finished.is_set():
             return False
         self._cancel.set()
+        if self._finished.is_set():
+            # The worker finished the ticket concurrently; report
+            # whether the cancellation actually took effect.
+            return self.state in (_CANCELLED, _TIMEOUT)
         return True
 
     def done(self) -> bool:
@@ -262,6 +273,26 @@ class QueryService:
         with self._admin_lock:
             indicator = self.admin.assert_external(clause_text)
         self._broadcast_invalidate([indicator])
+
+    def execute_admin(self, goal: Goal,
+                      limit: Optional[int] = None) -> object:
+        """Run a goal on the admin session — the write path for goals
+        that mutate the store, e.g. the materialising relational
+        operators (``db_select/3`` and friends, ``db_drop/1``).  On a
+        worker those raise :class:`~repro.errors.LockOrderError`
+        because the query holds the shared read lock; here the goal
+        runs outside any read hold, so its mutators take the exclusive
+        write lock normally.  The affected procedures are not known up
+        front, so every worker's loader cache is cleared afterwards
+        (a schema-level invalidation, not the per-procedure path)."""
+        with self._admin_lock:
+            if callable(goal):
+                value = goal(self.admin)
+            else:
+                value = list(self.admin.solve(goal, limit=limit))
+        for session in self.sessions:
+            session.loader.invalidate()
+        return value
 
     def _broadcast_invalidate(
             self, indicators: Iterable[Tuple[str, int]]) -> None:

@@ -29,8 +29,8 @@ import pytest
 from repro import EduceStar, QueryService
 from repro.bang.pager import DiskStore, Pager
 from repro.edb.store import ExternalStore
-from repro.errors import (LockOrderError, PageError, QueryInterrupted,
-                          ServiceClosed, ServiceSaturated)
+from repro.errors import (ExistenceError, LockOrderError, PageError,
+                          QueryInterrupted, ServiceClosed, ServiceSaturated)
 from repro.locks import Latch, ReadWriteLock
 
 # Differential seeds: 5 by default (CI-fast); CONCURRENCY_SEEDS=50 for
@@ -265,6 +265,85 @@ class TestServiceAPI:
             with pytest.raises(LockOrderError):
                 ticket.result(timeout=30)
 
+    def test_cancel_already_finished_returns_false(self):
+        with QueryService(workers=1, queue_size=8) as svc:
+            svc.store_relation("edge", [(1, 2)])
+            ticket = svc.submit("edge(X, Y)")
+            ticket.wait(30)
+            assert ticket.cancel() is False
+            assert len(ticket.result(timeout=1)) == 1
+
+    def test_cancel_racing_finish_reports_actual_outcome(self):
+        # A worker completing the ticket between cancel()'s finished
+        # check and its flag set must not make cancel() promise a
+        # cancellation that can no longer happen.
+        from repro.service.query_service import QueryTicket
+        ticket = QueryTicket(1, "goal", None, None)
+        real_set = ticket._cancel.set
+
+        def finish_then_set():
+            ticket._finish("done", value=["v"])
+            real_set()
+
+        ticket._cancel.set = finish_then_set
+        assert ticket.cancel() is False
+        assert ticket.result(timeout=1) == ["v"]
+
+    def test_db_drop_from_worker_refused_before_mutating(self):
+        # db_drop is a mutator: from a worker (shared read lock held)
+        # it must fail fast with LockOrderError, leaving the relation,
+        # its catalog entry and the mutation epoch untouched.
+        with QueryService(workers=1, queue_size=8) as svc:
+            svc.store_relation("r", [(1, 2), (3, 4)])
+            epoch = svc.store.mutation_epoch
+            ticket = svc.submit("db_drop(r/2)")
+            with pytest.raises(LockOrderError):
+                ticket.result(timeout=30)
+            assert svc.store.mutation_epoch == epoch
+            assert svc.store.lookup("r", 2) is not None
+            assert len(svc.execute("r(X, Y)")) == 2
+
+    def test_materialise_from_worker_refused_without_partial_state(self):
+        # db_select over an *existing* output relation used to drop it
+        # under the read lock and then die in store_facts, leaving a
+        # half-applied mutation.  Now the whole replace is one write-
+        # locked section, so the worker is refused before any change.
+        with QueryService(workers=1, queue_size=8) as svc:
+            svc.store_relation("emp", [(1, "eng"), (2, "hr")])
+            svc.execute_admin("db_select(emp/2, [], out)")
+            epoch = svc.store.mutation_epoch
+            ticket = svc.submit("db_select(emp/2, emp(1, _), out)")
+            with pytest.raises(LockOrderError):
+                ticket.result(timeout=30)
+            assert svc.store.mutation_epoch == epoch
+            assert len(svc.execute("out(X, Y)")) == 2  # old rows intact
+
+    def test_execute_admin_runs_relational_mutators(self):
+        with QueryService(workers=2, queue_size=8) as svc:
+            svc.store_relation("emp", [(1, "eng"), (2, "hr"), (3, "eng")])
+            svc.execute_admin("db_select(emp/2, emp(_, eng), engs)")
+            assert len(svc.execute("engs(X, Y)")) == 2
+            svc.execute_admin("db_drop(engs/2)")
+            ticket = svc.submit("engs(X, Y)")
+            with pytest.raises(ExistenceError):
+                ticket.result(timeout=30)
+
+    def test_drop_recreate_never_serves_stale_cached_code(self):
+        # Versions are monotone per indicator across drop+recreate (the
+        # store keeps a version floor), so a worker whose loader cached
+        # the old code under (name, arity, version, ...) can never hit
+        # that key again after the relation is dropped and rebuilt —
+        # even though nobody invalidated its cache.
+        store = ExternalStore()
+        admin = EduceStar(store=store)
+        worker = EduceStar(store=store)
+        admin.store_relation("r", [(1,), (2,)])
+        assert len(list(worker.solve("r(X)"))) == 2  # worker caches r/1
+        assert admin.solve_once("db_drop(r/1)") is not None
+        admin.store_relation("r", [(7,), (8,), (9,)])
+        got = sorted(str(s["X"]) for s in worker.solve("r(X)"))
+        assert got == ["7", "8", "9"]
+
     def test_per_procedure_invalidation_broadcast(self):
         with QueryService(workers=2, queue_size=8) as svc:
             svc.store_relation("edge", [(1, 2)])
@@ -360,6 +439,127 @@ class TestBufferPins:
 
 
 # =====================================================================
+# Buffer write-backs happen outside the latch
+# =====================================================================
+
+class _SlowWriteDisk(DiskStore):
+    """A disc whose writes block on a gate — models an fsync stall."""
+
+    def __init__(self):
+        super().__init__()
+        self.write_entered = threading.Event()
+        self.write_gate = threading.Event()
+
+    def write(self, page_id, payload):
+        self.write_entered.set()
+        assert self.write_gate.wait(10)
+        super().write(page_id, payload)
+
+
+class _FlakyDisk(DiskStore):
+    """First write fails; everything after succeeds."""
+
+    def __init__(self):
+        super().__init__()
+        self.fail_next = True
+
+    def write(self, page_id, payload):
+        if self.fail_next:
+            self.fail_next = False
+            raise PageError("injected write failure")
+        super().write(page_id, payload)
+
+
+class TestBufferWritebacks:
+    def test_flush_does_not_hold_latch_across_disc_writes(self):
+        disk = _SlowWriteDisk()
+        pager = Pager(disk=disk, buffer_pages=8)
+        pager.allocate(initial="dirty")
+        clean_pid = pager.allocate(initial="clean")
+
+        flusher = threading.Thread(target=pager.flush, daemon=True)
+        flusher.start()
+        assert disk.write_entered.wait(10)
+        # Flush is stalled inside a disc write; a frame hit must still
+        # get through the latch.
+        got = []
+        done = threading.Event()
+
+        def reader():
+            got.append(pager.get(clean_pid))
+            done.set()
+
+        threading.Thread(target=reader, daemon=True).start()
+        assert done.wait(5), "get() stalled behind flush's disc write"
+        assert got == ["clean"]
+        disk.write_gate.set()
+        flusher.join(10)
+
+    def test_eviction_writeback_outside_latch_and_fetch_waits(self):
+        disk = _SlowWriteDisk()
+        pager = Pager(disk=disk, buffer_pages=1)
+        pool = pager.buffer
+        pid_a = disk.allocate()
+        pool.install(pid_a, "A")            # dirty, resident
+        pid_b = disk.allocate()
+
+        evictor = threading.Thread(target=pool.install,
+                                   args=(pid_b, "B"), daemon=True)
+        evictor.start()                     # evicts A → slow write-back
+        assert disk.write_entered.wait(10)
+
+        # While A's write-back is in flight, a fetch of A must wait for
+        # it (not read the stale disc image) ...
+        got_a = []
+        a_done = threading.Event()
+
+        def fetch_a():
+            got_a.append(pool.get(pid_a))
+            a_done.set()
+
+        threading.Thread(target=fetch_a, daemon=True).start()
+        # ... while a fetch of the resident page B sails through.
+        time.sleep(0.05)
+        assert pool.get(pid_b) == "B"
+        assert not a_done.is_set()
+        disk.write_gate.set()
+        assert a_done.wait(10)
+        assert got_a == ["A"]
+        evictor.join(10)
+        # A's eviction write-back, plus B's when fetch_a re-admitted A
+        # into the single frame.
+        assert pool.counters()["buffer_writebacks"] == 2
+
+    def test_flush_failure_keeps_unwritten_pages_dirty(self):
+        disk = _FlakyDisk()
+        pager = Pager(disk=disk, buffer_pages=8)
+        p1 = pager.allocate(initial="one")
+        p2 = pager.allocate(initial="two")
+        with pytest.raises(PageError):
+            pager.flush()
+        pager.flush()                       # retries both pages
+        pager.buffer.discard(p1)
+        pager.buffer.discard(p2)
+        assert pager.get(p1) == "one"       # re-read from disc
+        assert pager.get(p2) == "two"
+
+    def test_failed_eviction_writeback_readmits_frame_dirty(self):
+        disk = _FlakyDisk()
+        pager = Pager(disk=disk, buffer_pages=1)
+        pool = pager.buffer
+        pid_a = disk.allocate()
+        pool.install(pid_a, "A")
+        pid_b = disk.allocate()
+        with pytest.raises(PageError):
+            pool.install(pid_b, "B")        # eviction write-back fails
+        # A's payload was the only copy: still resident and dirty.
+        assert pool.get(pid_a) == "A"
+        pool.flush()
+        pool.discard(pid_a)
+        assert pool.get(pid_a) == "A"       # survived via the retry
+
+
+# =====================================================================
 # Locks
 # =====================================================================
 
@@ -440,6 +640,52 @@ class TestReadWriteLock:
         rt.join(10)
         assert order[0] == "write", (
             "a reader arriving behind a queued writer must not overtake")
+
+    def test_non_lifo_release_downgrades_write_to_read(self):
+        # write → read → release_write is a write→read downgrade: the
+        # residual read must hold off a queued writer until released.
+        rw = ReadWriteLock("t")
+        rw.acquire_write()
+        rw.acquire_read()
+        rw.release_write()
+        order = []
+        done = threading.Event()
+
+        def writer():
+            rw.acquire_write()
+            order.append("write")
+            rw.release_write()
+            done.set()
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert order == [], "writer overtook the downgraded read hold"
+        order.append("read-release")
+        rw.release_read()
+        assert done.wait(10)
+        assert order == ["read-release", "write"]
+
+    def test_non_lifo_release_keeps_reader_accounting_balanced(self):
+        # The writer-nested read was never counted in _active_readers;
+        # releasing it after the write must not drive the count to -1
+        # (which would wedge every future acquire_write forever).
+        rw = ReadWriteLock("t")
+        for _ in range(3):
+            rw.acquire_write()
+            rw.acquire_read()
+            rw.release_write()
+            rw.release_read()
+        done = threading.Event()
+
+        def writer():
+            rw.acquire_write()
+            rw.release_write()
+            done.set()
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        assert done.wait(10), "reader accounting went negative"
 
     def test_latch_counts_contention(self):
         latch = Latch("t")

@@ -486,6 +486,28 @@ class TestCrashRecovery:
         assert len(rows) == 4
         assert not reopened.recovery.errors
 
+    def test_materialise_and_drop_replay_from_wal(self, tmp_path, ctx):
+        # The relational operators' mutations (db_select materialising
+        # an output relation, db_drop) are WAL-logged like any other
+        # mutator; recovery must replay replace-and-drop faithfully.
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.materialise_facts("out", 2, [(1, "a")])
+        store.materialise_facts("out", 2, [(2, "b"), (1, "a")])
+        store.store_facts("tmp", 1, [(9,)], types=("int",))
+        assert store.drop_procedure("tmp", 1) is True
+        assert store.drop_procedure("tmp", 1) is False  # already gone
+
+        reopened = ExternalStore.open(path, create=False)
+        assert not reopened.recovery.errors
+        assert sorted(reopened.fetch_facts("out", 2)) == [(1, "a"),
+                                                          (2, "b")]
+        assert reopened.lookup("tmp", 1) is None
+        # the version floor replays with the drop: a re-created tmp/1
+        # starts above every version the dropped one served under
+        recreated = reopened.store_facts("tmp", 1, [(1,)], types=("int",))
+        assert recreated.version >= 1
+
     def test_recovery_is_idempotent(self, tmp_path, ctx):
         path = str(tmp_path / "db.edb")
         store = seeded_store(path, ctx)
