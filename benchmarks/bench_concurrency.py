@@ -17,10 +17,16 @@ overlapping real disc arms.
 Run:  PYTHONPATH=src python benchmarks/bench_concurrency.py
       [--queries 200] [--latency-ms 2.0] [--buffer-pages 8]
       [--workers 1,2,4,8,16] [--scale 0.2] [--seed 7]
+      [--exposition PATH]
 
 Reports per worker count: throughput (queries/s), mean / p50 / p95
 latency, speedup vs. 1 worker.  The acceptance bar recorded in
 EXPERIMENTS.md: >= 3x throughput at 8 workers vs. 1.
+
+``--exposition PATH`` merges every worker level's service snapshot
+(counters + latency histograms: queue waits, ticket latency, lock and
+latch waits, buffer miss stalls) and writes it in Prometheus text
+format — the CI telemetry job validates this output parses.
 """
 
 import argparse
@@ -67,6 +73,10 @@ def run_level(store, n_rows: int, workers: int, queries: int, seed: int):
     """Closed loop: `workers` clients, one in-flight query each."""
     svc = QueryService(store=store, workers=workers,
                       queue_size=2 * workers + 4)
+    # The store (and its counters) is shared across levels; exporting
+    # per-level *deltas* lets the final merge sum to true run totals
+    # instead of double-counting earlier levels' storage work.
+    baseline = svc.metrics.snapshot()
     latencies = []
     lock = threading.Lock()
     per_client = queries // workers
@@ -108,6 +118,8 @@ def run_level(store, n_rows: int, workers: int, queries: int, seed: int):
         "p95_ms": latencies[int(len(latencies) * 0.95) - 1] * 1000,
         "buffer_misses": snapshot["buffer_misses"],
         "buffer_hits": snapshot["buffer_hits"],
+        "snapshot": svc.metrics.diff(snapshot, baseline),
+        "gauge_keys": svc.metrics.gauge_keys(),
     }
 
 
@@ -122,6 +134,9 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=0.2,
                         help="Wisconsin scale factor (1.0 = 10k rows)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--exposition", metavar="PATH", default=None,
+                        help="write the merged run telemetry as "
+                             "Prometheus text format to PATH")
     args = parser.parse_args(argv)
     levels = [int(w) for w in args.workers.split(",")]
 
@@ -145,6 +160,16 @@ def main(argv=None) -> int:
         print(f"{row['workers']:>7} {row['throughput_qps']:>8.1f} "
               f"{row['mean_ms']:>8.2f} {row['p50_ms']:>8.2f} "
               f"{row['p95_ms']:>8.2f} {row['speedup']:>7.2f}x")
+
+    if args.exposition:
+        from repro.obs import MetricsRegistry, render_prometheus
+        merged = MetricsRegistry.merge(*[r["snapshot"] for r in results])
+        text = render_prometheus(merged,
+                                 gauge_keys=results[0]["gauge_keys"])
+        with open(args.exposition, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"\nmerged Prometheus exposition "
+              f"({len(text.splitlines())} lines) -> {args.exposition}")
 
     by_workers = {r["workers"]: r for r in results}
     if 1 in by_workers and 8 in by_workers:

@@ -5,13 +5,16 @@ Runs every experiment and prints Tables 1, 2a, 2b and 3 (plus the §5.4
 diskless-workstation comparison) formatted like the originals, with the
 paper's numbers alongside where the text preserves them.
 
-    python benchmarks/report.py [--scale S] [--jsonl PATH]
+    python benchmarks/report.py [--scale S] [--jsonl PATH] [--prom PATH]
 
 Scale 1.0 (default) uses the paper's exact cardinalities; the full run
 takes a couple of minutes.  ``--jsonl PATH`` additionally runs a sample
 of MVV queries under per-query tracing and appends their observability
 profiles (span trees + counter deltas + simulated-ms breakdowns, one
 JSON object per line — see docs/OBSERVABILITY.md) to PATH.
+``--prom PATH`` writes the sample session's full metrics snapshot —
+counters plus latency histograms (latch waits, buffer miss stalls, WAL
+appends, ...) — in Prometheus text format to PATH.
 """
 
 import argparse
@@ -144,25 +147,37 @@ def table2(scale: float) -> None:
 # Per-query observability profiles (--jsonl)
 # =====================================================================
 
-def profiles(scale: float, path: str) -> None:
-    """Trace a sample of MVV queries; append their profiles to *path*."""
+def profiles(scale: float, path: "str | None",
+             prom: "str | None" = None) -> None:
+    """Trace a sample of MVV queries; append their profiles to *path*
+    (JSON lines) and/or the session's merged metrics snapshot to
+    *prom* (Prometheus text format)."""
     from repro.obs import write_json_lines
     from repro.workloads import mvv
 
-    print(f"\nPer-query profiles → {path}")
-    hr()
     data = mvv.generate(seed=11, scale=scale)
     star = mvv.load_educestar(data)
     sample = mvv.class1_queries(data, 3) + mvv.class2_queries(data, 2)
     collected = [star.profile(q) for q in sample]
-    lines = write_json_lines(path, collected)
-    for prof in collected:
-        sim = prof.breakdown()
-        spans = sum(1 for _ in prof.root.walk()) if prof.root else 0
-        print(f"  {prof.goal[:46]:<46} {sim['total_ms']:>9.2f} ms "
-              f"({spans} spans, {prof.solutions} solutions)")
-    print(f"({len(collected)} query profiles, {lines} JSON lines; "
-          "counter glossary in docs/OBSERVABILITY.md)")
+    if path:
+        print(f"\nPer-query profiles → {path}")
+        hr()
+        lines = write_json_lines(path, collected)
+        for prof in collected:
+            sim = prof.breakdown()
+            spans = sum(1 for _ in prof.root.walk()) if prof.root else 0
+            print(f"  {prof.goal[:46]:<46} {sim['total_ms']:>9.2f} ms "
+                  f"({spans} spans, {prof.solutions} solutions)")
+        print(f"({len(collected)} query profiles, {lines} JSON lines; "
+              "counter glossary in docs/OBSERVABILITY.md)")
+    if prom:
+        from repro.obs import render_prometheus
+        text = render_prometheus(star.metrics.snapshot(),
+                                 gauge_keys=star.metrics.gauge_keys())
+        with open(prom, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"\nPrometheus exposition ({len(text.splitlines())} "
+              f"lines) → {prom}")
 
 
 # =====================================================================
@@ -236,11 +251,15 @@ def main() -> None:
     parser.add_argument("--jsonl", metavar="PATH", default=None,
                         help="also write per-query observability "
                              "profiles to PATH (JSON lines)")
+    parser.add_argument("--prom", metavar="PATH", default=None,
+                        help="also write the sample session's metrics "
+                             "snapshot to PATH (Prometheus text format)")
     args = parser.parse_args()
-    if args.jsonl:
-        # Fail on an unwritable path now, not after the full run.
-        with open(args.jsonl, "a", encoding="utf-8"):
-            pass
+    for probe in (args.jsonl, args.prom):
+        if probe:
+            # Fail on an unwritable path now, not after the full run.
+            with open(probe, "a", encoding="utf-8"):
+                pass
 
     print("Reproduction of Bocca, 'Compilation of Logic Programs to "
           "Implement Very Large\nKnowledge Base Systems — A Case Study: "
@@ -249,8 +268,8 @@ def main() -> None:
     table2(args.scale)
     table3()
     section54(args.scale)
-    if args.jsonl:
-        profiles(args.scale, args.jsonl)
+    if args.jsonl or args.prom:
+        profiles(args.scale, args.jsonl, args.prom)
     print("\nSee EXPERIMENTS.md for the paper-vs-measured analysis.")
 
 

@@ -12,7 +12,10 @@ surface:
   bumps the mutation epoch, and invalidates exactly the affected
   procedure in every worker's loader cache;
 * a deadline interrupting a runaway query, and a cancelled ticket;
-* the post-run accounting: pins balanced, epochs monotone.
+* the post-run accounting: pins balanced, epochs monotone;
+* service telemetry: latency histograms, the flight recorder's event
+  tail, and one slow query's full ticket trace
+  (admit → queue_wait → execute → engine spans).
 
 Run:  python examples/concurrent_service.py
 """
@@ -34,7 +37,10 @@ def main() -> None:
     # A small buffer pool plus simulated disc latency makes the
     # workload I/O-bound — the regime where worker concurrency pays.
     store = ExternalStore(pager=Pager(buffer_pages=8))
-    svc = QueryService(store=store, workers=4, queue_size=32)
+    # ``slow_query_ms`` arms the flight recorder's slow-query capture:
+    # any ticket slower than the threshold keeps its full span tree.
+    svc = QueryService(store=store, workers=4, queue_size=32,
+                       slow_query_ms=5.0)
 
     print("Loading the family KB into the shared EDB ...")
     svc.store_relation("parent", [
@@ -88,14 +94,40 @@ def main() -> None:
 
     print("\n-- 4. the books balance --")
     svc.shutdown()
-    snap = svc.metrics.snapshot()
+    telemetry = svc.final_telemetry   # captured by shutdown()
+    snap = telemetry["counters"]
     for key in ("service_submitted", "service_completed",
                 "service_timeouts", "service_cancelled",
+                "service_queue_depth_peak",
                 "buffer_pins", "buffer_unpins", "buffer_pinned",
                 "store_mutations", "latch_contentions"):
-        print(f"  {key:<22} {snap[key]}")
+        print(f"  {key:<24} {snap[key]}")
     assert snap["buffer_pins"] == snap["buffer_unpins"]
     print("  every pin released; mutation epoch = committed updates.")
+
+    print("\n-- 5. what the service saw (telemetry) --")
+    for base in ("service_queue_wait_ms", "service_ticket_ms",
+                 "buffer_miss_stall_ms", "lock_read_wait_ms"):
+        if f"{base}.count" not in snap:
+            continue
+        print(f"  {base:<24} count={snap[f'{base}.count']:g}  "
+              f"p50={snap[f'{base}.p50']:.3f}  "
+              f"p99={snap[f'{base}.p99']:.3f}  "
+              f"max={snap[f'{base}.max']:.3f}  (ms)")
+    print("  flight recorder tail:")
+    for event in telemetry["events"][-6:]:
+        attrs = "  ".join(f"{k}={v}" for k, v in event.items()
+                          if k not in ("seq", "ts", "kind"))
+        print(f"    #{event['seq']:<4} {event['kind']:<16} {attrs}")
+    slow = telemetry["slow_queries"]
+    print(f"  slow queries (> {svc.slow_query_ms:g} ms): {len(slow)}")
+    if slow:
+        capture = slow[0]
+        print(f"  slowest capture — ticket {capture['ticket']} "
+              f"({capture['state']}, {capture['total_ms']:.1f} ms), "
+              f"trace {capture['trace_id']}:")
+        for line in capture["trace"].format_tree().splitlines():
+            print("    " + line)
 
 
 if __name__ == "__main__":

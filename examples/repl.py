@@ -21,6 +21,13 @@ A minimal shell over an :class:`~repro.EduceStar` session:
                   tree, counter deltas, simulated-1990-ms breakdown
   ``:stats``      session counters by component + simulated-ms
                   breakdown + the last traced query's profile
+  ``:top``        live telemetry dashboard: latency histograms
+                  (count/p50/p90/p99/max) and hot counters,
+                  refreshing once a second on a tty (Ctrl-C to
+                  stop; renders once when piped)
+  ``:events N``   tail of the flight recorder — the last N (default
+                  20) structured events: evictions, WAL poisoning,
+                  recovery, ... (docs/OBSERVABILITY.md)
   ``:export F``   append the last traced query's profile to F
                   as JSON lines (see docs/OBSERVABILITY.md)
   ``:help``       this text
@@ -32,6 +39,7 @@ Run:  python examples/repl.py            (interactive)
 """
 
 import sys
+import time
 
 from repro import EduceStar, term_to_text
 from repro.errors import ReproError
@@ -113,6 +121,72 @@ def show_stats(session) -> None:
             print("    " + line)
 
 
+#: counters worth a dashboard line, in display order
+_TOP_COUNTERS = (
+    "instr_count", "calls", "backtracks", "loads", "cache_hits",
+    "reads", "writes", "buffer_hits", "buffer_misses",
+    "buffer_evictions", "wal_appends", "events_recorded",
+    "events_dropped",
+)
+
+
+def render_top(snapshot: dict) -> str:
+    """The telemetry dashboard: one line per histogram family, then
+    the hot counters.  Histogram families are recognised the same way
+    the registry recognises them (``X.count`` + ``X.sum``)."""
+    from repro.obs.registry import _histogram_families
+    lines = [f"  {'histogram (ms)':<24}{'count':>8}{'p50':>9}"
+             f"{'p90':>9}{'p99':>9}{'max':>10}"]
+    families = sorted(_histogram_families(snapshot))
+    for base in families:
+        count = snapshot.get(f"{base}.count", 0)
+        cells = []
+        for suffix in ("p50", "p90", "p99", "max"):
+            value = snapshot.get(f"{base}.{suffix}")
+            cells.append("-" if value is None else f"{value:.3f}")
+        lines.append(f"  {base:<24}{count:>8g}{cells[0]:>9}"
+                     f"{cells[1]:>9}{cells[2]:>9}{cells[3]:>10}")
+    if not families:
+        lines.append("  (no observations yet)")
+    lines.append("")
+    lines.append("  counters:")
+    for key in _TOP_COUNTERS:
+        if key in snapshot:
+            lines.append(f"    {key:<22} {snapshot[key]:g}")
+    return "\n".join(lines)
+
+
+def show_top(session, interactive: bool) -> None:
+    if not interactive:
+        print(render_top(session.metrics.snapshot()))
+        return
+    try:
+        while True:
+            # Home + clear-to-end keeps the refresh flicker-free.
+            print("\033[H\033[J" + render_top(session.metrics.snapshot()))
+            print("\n  (refreshing every 1s — Ctrl-C to return)")
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print()
+
+
+def show_events(session, arg: str) -> None:
+    try:
+        n = int(arg) if arg else 20
+    except ValueError:
+        print("usage: :events [N]")
+        return
+    events = session.store.events.tail(n)
+    if not events:
+        print("  (flight recorder is empty)")
+        return
+    for event in events:
+        attrs = "  ".join(f"{k}={v}" for k, v in event.items()
+                          if k not in ("seq", "ts", "kind"))
+        stamp = time.strftime("%H:%M:%S", time.localtime(event["ts"]))
+        print(f"  #{event['seq']:<6} {stamp}  {event['kind']:<16} {attrs}")
+
+
 def command(session, line: str, interactive: bool):
     parts = line.split(None, 1)
     cmd = parts[0]
@@ -146,6 +220,10 @@ def command(session, line: str, interactive: bool):
             print(f"no such predicate: {arg}")
     elif cmd == ":stats":
         show_stats(session)
+    elif cmd == ":top":
+        show_top(session, interactive)
+    elif cmd == ":events":
+        show_events(session, arg)
     elif cmd == ":trace":
         if arg not in ("", "on", "off"):
             print("usage: :trace [on|off]")

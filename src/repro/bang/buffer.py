@@ -41,11 +41,14 @@ the differential concurrency suite asserts exactly that.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Dict
 
 from ..errors import PageError
 from ..locks import Latch
+from ..obs.events import NULL_EVENTS
+from ..obs.registry import Histogram
 from ..obs.tracing import NULL_TRACER
 from .pager import DiskStore
 
@@ -59,7 +62,13 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity
         self.tracer = NULL_TRACER  # threaded in via Pager.tracer
+        self.events = NULL_EVENTS  # threaded in via Pager.events
         self._latch = Latch("buffer")
+        #: wall time a miss spends in the (latch-released) disc read —
+        #: the stall concurrent workers overlap; and the duration of
+        #: each dirty write-back (eviction or flush)
+        self.miss_stall_hist = Histogram()
+        self.writeback_hist = Histogram()
         self._frames: "OrderedDict[int, Any]" = OrderedDict()
         self._dirty: set = set()
         #: page id → pin count (only pages with a live pin appear)
@@ -146,6 +155,7 @@ class BufferPool:
                        for pid in sorted(self._dirty)]
             self._dirty.clear()
         for i, (page_id, payload) in enumerate(pending):
+            started = time.perf_counter()
             try:
                 self.disk.write(page_id, payload)
             except BaseException:
@@ -156,6 +166,8 @@ class BufferPool:
                 raise
             with self._latch:
                 self.writebacks += 1
+                self.writeback_hist.observe(
+                    (time.perf_counter() - started) * 1000.0)
 
     def discard(self, page_id: int) -> None:
         """Drop a page from the pool without write-back (page freed).
@@ -173,6 +185,7 @@ class BufferPool:
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["tracer"] = None
+        state["events"] = None    # the ring holds locks; runtime state
         state["_pins"] = {}
         state["_loading"] = {}
         return state
@@ -180,6 +193,7 @@ class BufferPool:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self.tracer = NULL_TRACER
+        self.events = NULL_EVENTS
         # Pre-concurrency pickles lack the latch/pin fields.
         if getattr(self, "_latch", None) is None:
             self._latch = Latch("buffer")
@@ -187,6 +201,9 @@ class BufferPool:
         self.__dict__.setdefault("_loading", {})
         for key in ("pins_taken", "pins_released", "pin_overflows"):
             self.__dict__.setdefault(key, 0)
+        # Pre-telemetry pickles lack the duration histograms.
+        self.__dict__.setdefault("miss_stall_hist", Histogram())
+        self.__dict__.setdefault("writeback_hist", Histogram())
 
     # ------------------------------------------------------------ internals
 
@@ -209,6 +226,7 @@ class BufferPool:
             event.wait()
         # Latch released: the disc read (and any simulated latency)
         # overlaps with other threads' work.
+        started = time.perf_counter()
         try:
             payload = self.disk.read(page_id)
         except BaseException:
@@ -216,7 +234,9 @@ class BufferPool:
                 del self._loading[page_id]
                 event.set()
             raise
+        stalled_ms = (time.perf_counter() - started) * 1000.0
         with self._latch:
+            self.miss_stall_hist.observe(stalled_ms)
             del self._loading[page_id]
             event.set()
             writebacks = []
@@ -257,6 +277,9 @@ class BufferPool:
             if self.tracer.enabled:
                 self.tracer.event("page.evict", page=victim,
                                   dirty=victim in self._dirty)
+            if self.events.enabled:
+                self.events.record("page.evict", page=victim,
+                                   dirty=victim in self._dirty)
             if victim in self._dirty:
                 self._dirty.discard(victim)
                 marker = threading.Event()
@@ -269,6 +292,7 @@ class BufferPool:
         """Perform deferred dirty-victim writes outside the latch."""
         error = None
         for victim, payload, marker in writebacks:
+            started = time.perf_counter()
             try:
                 self.disk.write(victim, payload)
             except BaseException as exc:
@@ -286,6 +310,8 @@ class BufferPool:
                 continue
             with self._latch:
                 self.writebacks += 1
+                self.writeback_hist.observe(
+                    (time.perf_counter() - started) * 1000.0)
                 self._loading.pop(victim, None)
                 marker.set()
         if error is not None:
@@ -307,6 +333,14 @@ class BufferPool:
         }
         counters.update(self._latch.counters())
         return counters
+
+    def histograms(self) -> Dict[str, Histogram]:
+        hists = {
+            "buffer_miss_stall_ms": self.miss_stall_hist,
+            "buffer_writeback_ms": self.writeback_hist,
+        }
+        hists.update(self._latch.histograms())
+        return hists
 
     def reset_counters(self) -> None:
         self.hits = 0

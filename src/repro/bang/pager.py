@@ -448,6 +448,11 @@ class Pager:
         counters.update(self.buffer.counters())
         return counters
 
+    def histograms(self) -> dict:
+        """Duration histograms of the storage stack (buffer latch
+        waits, miss stalls, write-backs); see docs/OBSERVABILITY.md."""
+        return self.buffer.histograms()
+
     def reset_counters(self) -> None:
         self.disk.reset_counters()
         self.buffer.reset_counters()
@@ -462,3 +467,13 @@ class Pager:
         storage stack (disc events + buffer eviction events)."""
         self.disk.tracer = tracer
         self.buffer.tracer = tracer
+
+    @property
+    def events(self):
+        return self.buffer.events
+
+    @events.setter
+    def events(self, ring) -> None:
+        """Thread a flight-recorder ring through the storage stack
+        (currently: buffer eviction events)."""
+        self.buffer.events = ring

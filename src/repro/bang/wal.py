@@ -29,10 +29,12 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import WalError
+from ..obs.registry import Histogram
 from .faults import NULL_FAULTS, FaultInjector
 
 WAL_MAGIC = b"WA"
@@ -56,6 +58,11 @@ class WriteAheadLog:
         self.bytes_appended = 0
         self.syncs = 0
         self.truncations = 0
+        #: wall time of each append (writes + fsync) and of the fsync
+        #: alone — the fsync dominates, and its tail is what a stalled
+        #: mutator is actually waiting on
+        self.append_hist = Histogram()
+        self.fsync_hist = Histogram()
 
     def _require_file(self):
         """The open log file, or a typed error after :meth:`close`
@@ -84,12 +91,19 @@ class WriteAheadLog:
         lsn = self.next_lsn
         frame = _FRAME.pack(WAL_MAGIC, lsn, len(payload),
                             zlib.crc32(payload)) + payload
+        started = time.perf_counter()
         self.faults.crash_point("wal.append.before")
         split = _FRAME.size // 2
         self.faults.write(f, frame[:split])
         self.faults.crash_point("wal.append.mid")
         self.faults.write(f, frame[split:])
+        sync_started = time.perf_counter()
         os.fsync(f.fileno())
+        finished = time.perf_counter()
+        # Appends are serialized by the store's write lock, so the
+        # histogram updates need no further synchronisation.
+        self.fsync_hist.observe((finished - sync_started) * 1000.0)
+        self.append_hist.observe((finished - started) * 1000.0)
         self.syncs += 1
         self.faults.crash_point("wal.append.synced")
         self._end += len(frame)
@@ -171,4 +185,10 @@ class WriteAheadLog:
             "wal_records_appended": self.records_appended,
             "wal_bytes_appended": self.bytes_appended,
             "wal_truncations": self.truncations,
+        }
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {
+            "wal_append_ms": self.append_hist,
+            "wal_fsync_ms": self.fsync_hist,
         }

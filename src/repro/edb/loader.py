@@ -237,6 +237,10 @@ class DynamicLoader:
         counters.update(self._latch.counters())
         return counters
 
+    def histograms(self) -> dict:
+        """Wait-duration histograms (the loader cache latch)."""
+        return self._latch.histograms()
+
 
 def _facts_assignment(summaries: Dict[int, tuple]) -> Dict[int, object]:
     """Summaries → plain values for a facts relation query (atoms are

@@ -63,6 +63,8 @@ from ..bang.wal import WriteAheadLog
 from ..errors import (CatalogError, ExistenceError, ReproError, TypeError_,
                       WalError)
 from ..locks import ReadWriteLock
+from ..obs.events import EventRing
+from ..obs.registry import Histogram, merge_histogram_maps
 from ..obs.tracing import NULL_TRACER
 from ..terms import Atom, Struct, Term, Var, deref
 from ..wam.compiler import ClauseCompiler, CompileContext, split_clause
@@ -216,6 +218,13 @@ class ExternalStore:
         self.checkpoints_written = 0
         self.checkpoint_bytes_written = 0
 
+        # --- flight recorder (docs/OBSERVABILITY.md) ---------------------
+        #: the store-wide event ring: buffer evictions, WAL poisoning,
+        #: recovery; the query service records ticket lifecycle events
+        #: into the same ring, so one tail tells the whole story
+        self.events = EventRing()
+        self.pager.events = self.events
+
     # The WAL handle, fault plan and recovery report belong to the live
     # session, not the persisted image.
     def __getstate__(self) -> dict:
@@ -224,6 +233,8 @@ class ExternalStore:
         state["faults"] = None
         state["recovery"] = None
         state["_home"] = None
+        # The event ring holds locks and transient history.
+        state["events"] = None
         # Locks and the mutation epoch are runtime (session) state.
         state["_rw"] = None
         state["mutation_epoch"] = 0
@@ -241,6 +252,9 @@ class ExternalStore:
             self._rw = ReadWriteLock("store")
         self.__dict__.setdefault("mutation_epoch", 0)
         self.__dict__.setdefault("_version_floor", {})
+        if getattr(self, "events", None) is None:
+            self.events = EventRing()
+        self.pager.events = self.events
         # Durability counters are session-scoped, like tracer spans: a
         # freshly loaded store reports work *it* did, not history baked
         # into the checkpoint it came from.
@@ -662,6 +676,9 @@ class ExternalStore:
             self.wal.append(payload)
         except BaseException as exc:
             self._poisoned = f"{type(exc).__name__}: {exc}"
+            if self.events.enabled:
+                self.events.record("wal.poison", op=record.get("op"),
+                                   error=self._poisoned)
             raise
         self.wal_records_appended += 1
         self.wal_bytes_appended += len(payload)
@@ -886,6 +903,7 @@ class ExternalStore:
             store.faults = faults
             store.save(path)
             store.recovery = RecoveryReport(path=path, created=True)
+            store.events.record("store.recovery", path=path, created=True)
             return store
 
         store = cls.load(path)
@@ -947,6 +965,13 @@ class ExternalStore:
             store._home = path
         cls._clean_leftovers(path, disk)
         store.recovery = report
+        store.events.record(
+            "store.recovery", path=path, created=False,
+            wal_records_replayed=report.wal_records_replayed,
+            wal_records_stale=report.wal_records_stale,
+            wal_torn_tail=report.wal_torn_tail,
+            pages_quarantined=len(report.pages_quarantined),
+            errors=len(report.errors))
         return store
 
     @staticmethod
@@ -981,8 +1006,18 @@ class ExternalStore:
             "checkpoint_bytes_written": self.checkpoint_bytes_written,
         })
         counters.update(self._rw.counters())
+        counters.update(self.events.counters())
         counters["store_mutations"] = self.mutation_epoch
         return counters
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Duration histograms of the whole storage side: buffer latch
+        waits / miss stalls / write-backs (pager), store lock waits,
+        and — when a WAL is attached — append/fsync durations."""
+        maps = [self.pager.histograms(), self._rw.histograms()]
+        if self.wal is not None:
+            maps.append(self.wal.histograms())
+        return merge_histogram_maps(*maps)
 
     def reset_counters(self) -> None:
         self.pager.reset_counters()

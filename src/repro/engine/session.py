@@ -199,7 +199,8 @@ class EduceStar:
                 root=roots[-1] if roots else None,
                 solutions=solutions,
                 wall_s=wall_s,
-                cost_model=self.cost_model)
+                cost_model=self.cost_model,
+                trace_id=self.tracer.trace_id)
 
     def profile(self, goal, limit: Optional[int] = None) -> QueryProfile:
         """Run *goal* to completion under tracing; return its profile."""
@@ -279,6 +280,15 @@ class EduceStar:
 
     def io_counters(self) -> dict:
         return self.store.io_counters()
+
+    def histograms(self) -> dict:
+        """Duration histograms visible to this session: the shared
+        store's lock/latch waits, miss stalls, write-backs and WAL
+        appends, plus this session's loader-cache latch waits.
+        Same-named histograms (the two latches) merge bucket-wise."""
+        from ..obs.registry import merge_histogram_maps
+        return merge_histogram_maps(self.store.histograms(),
+                                    self.loader.histograms())
 
     def reset_counters(self) -> None:
         self.machine.reset_counters()

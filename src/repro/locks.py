@@ -17,9 +17,14 @@ of it, mirroring the classic DBMS distinction:
 
 Both count their traffic (``latch_*`` counters, see
 ``docs/OBSERVABILITY.md``), so contention is observable rather than
-guessed at.  Both are pickle-transparent: a lock is runtime state, so
-``__getstate__`` drops the underlying primitives and ``__setstate__``
-rebuilds them fresh — an EDB checkpoint never carries a held lock.
+guessed at — and both time their *waits*: a contended acquisition
+records the blocked duration in a wait histogram
+(``latch_wait_ms`` / ``lock_read_wait_ms`` / ``lock_write_wait_ms``),
+so tail contention is measurable, not just countable.  The uncontended
+fast path takes no clock reading.  Both are pickle-transparent: a lock
+is runtime state, so ``__getstate__`` drops the underlying primitives
+and ``__setstate__`` rebuilds them fresh — an EDB checkpoint never
+carries a held lock.
 
 The locking order is documented in ``docs/CONCURRENCY.md``:
 store ReadWriteLock → loader latch → buffer latch → disc I/O lock.
@@ -29,9 +34,11 @@ This module is stdlib-only so every layer may import it freely.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Optional
 
 from .errors import LockOrderError
+from .obs.registry import Histogram
 
 __all__ = ["Latch", "LockOrderError", "ReadWriteLock"]
 
@@ -48,14 +55,20 @@ class Latch:
         self._lock = threading.Lock()
         self.acquisitions = 0
         self.contentions = 0
+        self.wait_hist = Histogram()
 
     def acquire(self) -> None:
         contended = not self._lock.acquire(blocking=False)
         if contended:
+            blocked = time.perf_counter()
             self._lock.acquire()
+            waited_ms = (time.perf_counter() - blocked) * 1000.0
         self.acquisitions += 1
         if contended:
             self.contentions += 1
+            # Recorded while the latch is held, so the histogram's
+            # internal updates are exact, like the counters.
+            self.wait_hist.observe(waited_ms)
 
     def release(self) -> None:
         self._lock.release()
@@ -77,12 +90,17 @@ class Latch:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._lock = threading.Lock()
+        # Pre-telemetry pickles lack the wait histogram.
+        self.__dict__.setdefault("wait_hist", Histogram())
 
     def counters(self) -> dict:
         return {
             "latch_acquisitions": self.acquisitions,
             "latch_contentions": self.contentions,
         }
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {"latch_wait_ms": self.wait_hist}
 
 
 class ReadWriteLock:
@@ -120,6 +138,8 @@ class ReadWriteLock:
         self.write_acquisitions = 0
         self.read_waits = 0
         self.write_waits = 0
+        self.read_wait_hist = Histogram()
+        self.write_wait_hist = Histogram()
 
     # ------------------------------------------------------------- pickling
 
@@ -138,6 +158,9 @@ class ReadWriteLock:
         self._mutex = threading.Lock()
         self._cond = threading.Condition(self._mutex)
         self._local = threading.local()
+        # Pre-telemetry pickles lack the wait histograms.
+        self.__dict__.setdefault("read_wait_hist", Histogram())
+        self.__dict__.setdefault("write_wait_hist", Histogram())
 
     # ------------------------------------------------------------ internals
 
@@ -165,8 +188,12 @@ class ReadWriteLock:
             self.read_acquisitions += 1
             if self._writer is not None or self._writers_waiting:
                 self.read_waits += 1
+                blocked = time.perf_counter()
                 while self._writer is not None or self._writers_waiting:
                     self._cond.wait()
+                # Observed under the condition's mutex: exact updates.
+                self.read_wait_hist.observe(
+                    (time.perf_counter() - blocked) * 1000.0)
             self._active_readers += 1
         self._local.read_depth = 1
         self._local.read_counted = True
@@ -201,14 +228,19 @@ class ReadWriteLock:
                 "release the read lock before mutating")
         with self._cond:
             self.write_acquisitions += 1
-            if self._active_readers or self._writer is not None:
+            waited = self._active_readers or self._writer is not None
+            if waited:
                 self.write_waits += 1
+                blocked = time.perf_counter()
             self._writers_waiting += 1
             try:
                 while self._active_readers or self._writer is not None:
                     self._cond.wait()
             finally:
                 self._writers_waiting -= 1
+            if waited:
+                self.write_wait_hist.observe(
+                    (time.perf_counter() - blocked) * 1000.0)
             self._writer = me
             self._writer_depth = 1
 
@@ -246,4 +278,10 @@ class ReadWriteLock:
             "latch_write_acquisitions": self.write_acquisitions,
             "latch_read_waits": self.read_waits,
             "latch_write_waits": self.write_waits,
+        }
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {
+            "lock_read_wait_ms": self.read_wait_hist,
+            "lock_write_wait_ms": self.write_wait_hist,
         }

@@ -22,20 +22,28 @@ session imports us), so any layer — ``wam``, ``bang``, ``edb``,
 ``relational`` — may depend on it without cycles.
 """
 
-from .registry import DEFAULT_GAUGE_KEYS, Histogram, MetricsRegistry
+from .registry import (DEFAULT_BOUNDARIES, DEFAULT_GAUGE_KEYS, Histogram,
+                       MetricsRegistry, merge_histogram_maps)
 from .threadlocal import ThreadLocalCounters
 from .tracing import NULL_TRACER, NullTracer, Span, Tracer
+from .events import NULL_EVENTS, EventRing
+from .exposition import render_prometheus
 from .profile import QueryProfile, write_json_lines
 
 __all__ = [
+    "DEFAULT_BOUNDARIES",
     "DEFAULT_GAUGE_KEYS",
+    "EventRing",
     "Histogram",
     "MetricsRegistry",
+    "NULL_EVENTS",
     "NULL_TRACER",
     "NullTracer",
     "Span",
     "ThreadLocalCounters",
     "Tracer",
     "QueryProfile",
+    "merge_histogram_maps",
+    "render_prometheus",
     "write_json_lines",
 ]

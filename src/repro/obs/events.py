@@ -1,0 +1,131 @@
+"""The flight recorder: a bounded, lock-striped ring of runtime events.
+
+Counters say how much work happened and spans say where a single query
+spent its time, but neither answers the operator's question after an
+incident: *what happened, in order, just before things went wrong?*
+The :class:`EventRing` is that answer — a fixed-size ring of small
+structured events (ticket admissions and terminal states, deadline
+expiries, cancellations, buffer evictions, WAL poisoning, recovery,
+slow queries) that every layer can append to cheaply and the service's
+``telemetry()`` aggregate exposes as a tail.
+
+Design constraints, mirroring :mod:`repro.obs.tracing`:
+
+* **Bounded memory** — each of the ``stripes`` deques has a hard
+  ``maxlen``; the ring as a whole can never hold more than
+  ``capacity`` events.  Overflow silently drops the *oldest* events of
+  a stripe (that is what a flight recorder is) but counts the drops in
+  ``events_dropped``.
+* **Thread-safe, low contention** — events land in a stripe picked by
+  the recording thread's ident, each stripe under its own lock, so
+  concurrent workers rarely serialize on the recorder.  A global
+  monotone sequence number (``itertools.count`` — atomic under
+  CPython) gives :meth:`tail` a total order to sort by.
+* **Near-free when disabled** — :data:`NULL_EVENTS` answers
+  ``enabled = False`` and its :meth:`record` returns immediately; hot
+  paths guard with ``if events.enabled`` exactly like tracer events.
+* **No repro imports** — stdlib-only, importable from any layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["EventRing", "NULL_EVENTS"]
+
+
+class EventRing:
+    """Bounded, lock-striped ring buffer of structured events."""
+
+    def __init__(self, capacity: int = 1024, stripes: int = 8,
+                 enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("event ring needs a positive capacity")
+        stripes = max(1, min(stripes, capacity))
+        per_stripe = -(-capacity // stripes)  # ceil: bound is >= capacity
+        self.capacity = per_stripe * stripes
+        self.enabled = enabled
+        self._seq = itertools.count(1)
+        self._stripes = [
+            {"lock": threading.Lock(),
+             "events": deque(maxlen=per_stripe),
+             "recorded": 0,
+             "dropped": 0}
+            for _ in range(stripes)
+        ]
+
+    # ------------------------------------------------------------- recording
+
+    def record(self, kind: str, **attrs: Any) -> None:
+        """Append one event; *attrs* must be small, plain values."""
+        if not self.enabled:
+            return
+        event: Dict[str, Any] = {
+            "seq": next(self._seq),
+            "ts": time.time(),
+            "kind": kind,
+        }
+        if attrs:
+            event.update(attrs)
+        stripe = self._stripes[
+            threading.get_ident() % len(self._stripes)]
+        with stripe["lock"]:
+            events = stripe["events"]
+            if len(events) == events.maxlen:
+                stripe["dropped"] += 1
+            events.append(event)
+            stripe["recorded"] += 1
+
+    # --------------------------------------------------------------- reading
+
+    def tail(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent *n* events (all retained events when None),
+        oldest first, totally ordered by sequence number."""
+        merged: List[Dict[str, Any]] = []
+        for stripe in self._stripes:
+            with stripe["lock"]:
+                merged.extend(stripe["events"])
+        merged.sort(key=lambda event: event["seq"])
+        if n is not None and n >= 0:
+            merged = merged[len(merged) - min(n, len(merged)):]
+        return merged
+
+    def __len__(self) -> int:
+        return sum(len(stripe["events"]) for stripe in self._stripes)
+
+    def clear(self) -> None:
+        for stripe in self._stripes:
+            with stripe["lock"]:
+                stripe["events"].clear()
+
+    # -------------------------------------------------------------- counters
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "events_recorded": sum(s["recorded"] for s in self._stripes),
+            "events_dropped": sum(s["dropped"] for s in self._stripes),
+        }
+
+
+class _NullEventRing(EventRing):
+    """Permanently disabled shared singleton (cannot be enabled)."""
+
+    def __init__(self):
+        super().__init__(capacity=1, stripes=1, enabled=False)
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return False
+
+    @enabled.setter
+    def enabled(self, value) -> None:
+        if value:
+            raise ValueError(
+                "NULL_EVENTS cannot be enabled; construct an EventRing")
+
+
+NULL_EVENTS = _NullEventRing()

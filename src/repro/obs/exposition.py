@@ -1,0 +1,110 @@
+"""Prometheus-text-format exposition of metric snapshots.
+
+A :class:`~repro.obs.registry.MetricsRegistry` snapshot is a flat dict;
+this module renders any such dict (including the *merged* snapshots of
+a whole :class:`~repro.service.query_service.QueryService`) in the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_, with
+no dependency beyond the stdlib:
+
+* plain counters become ``# TYPE <name> counter`` samples;
+* gauge keys (pass the registry's ``gauge_keys()``) become gauges;
+* histogram families (``X.count``/``X.sum``/``X.bucket.le_*`` key
+  groups as produced by :meth:`Histogram.as_dict`) become proper
+  Prometheus histograms — cumulative ``_bucket{le="..."}`` samples plus
+  ``_sum``/``_count`` — and their ``.min``/``.max``/``.p50``... keys
+  are emitted as companion gauges (``X_min``, ``X_p50``, ...).
+
+Metric names are sanitised (``.`` and any other character outside
+``[a-zA-Z0-9_:]`` become ``_``) and prefixed with a namespace, so every
+emitted name is valid.  ``tests/test_exposition.py`` holds a small
+validating parser and asserts that rendered snapshots round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Tuple
+
+from .registry import _family_keys, _histogram_families
+
+__all__ = ["render_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_PERCENTILE_SUFFIXES = ("min", "max", "p50", "p90", "p99")
+
+
+def _sanitize(name: str) -> str:
+    clean = _NAME_OK.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return f"{float(value):.10g}"
+
+
+def _bucket_bound_label(label: str) -> str:
+    return "+Inf" if label == "inf" else f"{float(label):g}"
+
+
+def render_prometheus(snapshot: Dict[str, Any],
+                      namespace: str = "educe",
+                      gauge_keys: Iterable[str] = ()) -> str:
+    """Render *snapshot* as Prometheus text format (version 0.0.4).
+
+    *gauge_keys* names the keys that are levels rather than monotonic
+    counters (typically ``registry.gauge_keys()``); everything else
+    that is not part of a histogram family is rendered as a counter.
+    """
+    gauges = set(gauge_keys)
+    families = set(_histogram_families(snapshot))
+    family_members = set()
+    for base in families:
+        family_members.update(_family_keys(snapshot, base))
+
+    lines: List[str] = []
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        if key in family_members or not isinstance(value, (int, float)):
+            continue
+        name = _sanitize(f"{namespace}_{key}")
+        kind = "gauge" if key in gauges else "counter"
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {_format_value(value)}")
+
+    for base in sorted(families):
+        name = _sanitize(f"{namespace}_{base}")
+        bucket_prefix = f"{base}.bucket.le_"
+        buckets: List[Tuple[float, str, Any]] = []
+        for key, value in snapshot.items():
+            if key.startswith(bucket_prefix):
+                label = key[len(bucket_prefix):]
+                bound = float("inf") if label == "inf" else float(label)
+                buckets.append((bound, _bucket_bound_label(label), value))
+        buckets.sort(key=lambda item: item[0])
+        count = snapshot.get(f"{base}.count", 0)
+        total = snapshot.get(f"{base}.sum", 0.0)
+        lines.append(f"# TYPE {name} histogram")
+        for _, label, value in buckets:
+            lines.append(
+                f'{name}_bucket{{le="{label}"}} {_format_value(value)}')
+        if not any(bound == float("inf") for bound, _, _ in buckets):
+            # A family with no bucket keys (empty histogram) still needs
+            # the mandatory +Inf bucket to be a valid histogram.
+            lines.append(f'{name}_bucket{{le="+Inf"}} '
+                         f'{_format_value(count)}')
+        lines.append(f"{name}_sum {_format_value(total)}")
+        lines.append(f"{name}_count {_format_value(count)}")
+        for suffix in _PERCENTILE_SUFFIXES:
+            value = snapshot.get(f"{base}.{suffix}")
+            if isinstance(value, (int, float)):
+                lines.append(f"# TYPE {name}_{suffix} gauge")
+                lines.append(f"{name}_{suffix} {_format_value(value)}")
+
+    return "\n".join(lines) + "\n"

@@ -42,13 +42,18 @@ class QueryProfile:
                  root: Optional[Span] = None,
                  solutions: int = 0,
                  wall_s: float = 0.0,
-                 cost_model: Optional["CostModel"] = None):
+                 cost_model: Optional["CostModel"] = None,
+                 trace_id: Optional[str] = None):
         self.goal = goal
         self.counters = dict(counters)
         self.root = root
         self.solutions = solutions
         self.wall_s = wall_s
         self.cost_model = cost_model or _default_model()
+        #: service-minted trace id when the query ran as a ticket
+        #: (None for standalone sessions); joins this profile to the
+        #: service's ticket trace and flight-recorder events.
+        self.trace_id = trace_id
 
     # ------------------------------------------------------------- pricing
 
@@ -70,7 +75,7 @@ class QueryProfile:
 
     def to_dict(self) -> Dict[str, Any]:
         """The profile header (span tree exported separately)."""
-        return {
+        out = {
             "kind": "query_profile",
             "goal": self.goal,
             "solutions": self.solutions,
@@ -79,6 +84,9 @@ class QueryProfile:
             "simulated": self.breakdown(),
             "spans": sum(1 for _ in self.root.walk()) if self.root else 0,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
 
     def to_json_lines(self) -> List[str]:
         """One header line, then one line per span (pre-order)."""

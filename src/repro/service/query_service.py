@@ -40,12 +40,17 @@ import itertools
 import queue
 import threading
 import time
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+import uuid
+from collections import deque
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
 
 from ..engine.session import EduceStar
 from ..errors import QueryInterrupted, ServiceClosed, ServiceSaturated
 from ..obs import MetricsRegistry, ThreadLocalCounters
-from ..obs.tracing import NULL_TRACER
+from ..obs.exposition import render_prometheus
+from ..obs.registry import Histogram
+from ..obs.tracing import NULL_TRACER, Span
 
 #: A query is either a Prolog goal string (solved on the worker's
 #: session, solutions collected eagerly under the read lock) or a
@@ -81,7 +86,18 @@ class QueryTicket:
         self.value: object = None
         self.error: Optional[BaseException] = None
         self.worker: Optional[str] = None
+        #: trace id minted at submission; carried into the worker
+        #: session's tracer so every span of this query's execution —
+        #: service-synthesised and engine-emitted alike — shares it.
+        self.trace_id: Optional[str] = None
+        self.queue_wait_ms: Optional[float] = None
+        self.execute_ms: Optional[float] = None
+        self.total_ms: Optional[float] = None
+        #: root of the ticket's span tree (``ticket`` → ``queue_wait``
+        #: + ``execute`` → engine spans) when the service traces.
+        self.trace: Optional[Span] = None
         self._deadline = deadline          # time.monotonic() basis
+        self._submitted_perf: Optional[float] = None
         self._cancel = threading.Event()
         self._finished = threading.Event()
 
@@ -159,11 +175,21 @@ class QueryService:
 
     def __init__(self, store=None, workers: int = 4,
                  queue_size: int = 64, poll_interval: int = 512,
+                 tracing: bool = False,
+                 slow_query_ms: Optional[float] = None,
+                 recent_tickets: int = 256,
+                 trace_capacity: int = 64,
                  **session_kwargs):
         if workers < 1:
             raise ValueError("need at least one worker")
         if queue_size < 1:
             raise ValueError("need a positive queue bound")
+        #: trace every ticket end to end (``tracing=True``), or only
+        #: capture tickets slower than ``slow_query_ms`` milliseconds.
+        #: Either setting enables the worker sessions' tracers per
+        #: ticket; with both off the tracing path costs nothing.
+        self.trace_tickets = bool(tracing)
+        self.slow_query_ms = slow_query_ms
         #: the admin session is built first: it creates the store when
         #: none is given and is the single session used for updates.
         self.admin = EduceStar(store=store, **session_kwargs)
@@ -187,9 +213,39 @@ class QueryService:
         self._closed = False
         self._shutdown = False
 
+        # Maintained gauges (satellite fix: ``qsize()`` sampled at
+        # counters() time is racy and has no memory — a burst that
+        # drains before the next scrape leaves no evidence).  Depth is
+        # incremented under the submit lock and decremented by the
+        # dequeuing worker; the peak is a high-watermark.
+        self._gauge_lock = threading.Lock()
+        self._depth = 0
+        self._depth_peak = 0
+        self._inflight = 0
+
+        # Service-level latency histograms; observed once per terminal
+        # ticket under a dedicated lock (not the submit lock — finishes
+        # must not contend with admissions).
+        self._hist_lock = threading.Lock()
+        self._queue_wait_hist = Histogram()
+        self._ticket_hist = Histogram()
+
+        #: the flight recorder: the shared store's event ring doubles
+        #: as the service ring, so storage events (evictions, WAL
+        #: poison, recovery) and ticket lifecycle events interleave in
+        #: one sequenced stream.
+        self.events = self.store.events
+        self._service_id = uuid.uuid4().hex[:6]
+        self._span_seq = itertools.count(1)
+        self._recent: "deque[Dict[str, Any]]" = deque(maxlen=recent_tickets)
+        self._traces: "deque[Span]" = deque(maxlen=trace_capacity)
+        self._slow: "deque[Dict[str, Any]]" = deque(maxlen=32)
+        #: full :meth:`telemetry` aggregate captured by :meth:`shutdown`
+        self.final_telemetry: Optional[Dict[str, Any]] = None
+
         self._stats = ThreadLocalCounters()
         self.metrics = MetricsRegistry()
-        self.metrics.attach(self)
+        self.metrics.attach(self)   # counters() + histograms()
         self.metrics.attach(self.store)   # io_counters: pager + WAL + locks
         for session in self.sessions:
             self.metrics.attach(session.machine)
@@ -237,8 +293,11 @@ class QueryService:
                 self._stats.add("service_rejected", len(specs))
                 raise ServiceClosed("service is shutting down")
             # All puts go through this lock, and concurrent gets only
-            # free space, so the capacity check cannot over-admit.
-            free = self._queue_bound - self._queue.qsize()
+            # free space, so the capacity check cannot over-admit: the
+            # maintained depth is decremented *after* a worker's get, so
+            # it is always >= qsize() and the put below cannot block.
+            with self._gauge_lock:
+                free = self._queue_bound - self._depth
             if len(specs) > free:
                 self._stats.add("service_rejected", len(specs))
                 raise ServiceSaturated(
@@ -248,8 +307,18 @@ class QueryService:
             for goal, limit, timeout in specs:
                 deadline = None if timeout is None else now + timeout
                 ticket = QueryTicket(next(self._ids), goal, limit, deadline)
+                ticket.trace_id = f"tk-{self._service_id}-{ticket.id}"
+                ticket._submitted_perf = time.perf_counter()
+                with self._gauge_lock:
+                    self._depth += 1
+                    if self._depth > self._depth_peak:
+                        self._depth_peak = self._depth
                 self._queue.put_nowait(ticket)
                 tickets.append(ticket)
+                if self.events.enabled:
+                    self.events.record("ticket.admit", ticket=ticket.id,
+                                       trace_id=ticket.trace_id,
+                                       goal=_goal_label(ticket.goal))
             self._stats.add("service_submitted", len(tickets))
         return tickets
 
@@ -322,8 +391,10 @@ class QueryService:
                     ticket = self._queue.get_nowait()
                 except queue.Empty:
                     break
-                ticket._finish(_CANCELLED)
-                self._stats.add("service_cancelled")
+                with self._gauge_lock:
+                    self._depth -= 1
+                self._finish_unqueued(ticket, _CANCELLED,
+                                      "service_cancelled")
         self._shutdown = True
         deadline = None if timeout is None else time.monotonic() + timeout
         for thread in self._threads:
@@ -331,6 +402,11 @@ class QueryService:
             if deadline is not None:
                 remaining = max(0.0, deadline - time.monotonic())
             thread.join(remaining)
+        # One last look at everything the run produced: counters,
+        # histograms, recent tickets, traces, slow queries, the event
+        # ring's tail.  Post-mortem surfaces (examples, benchmarks)
+        # read this instead of re-sampling a torn-down service.
+        self.final_telemetry = self.telemetry()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -348,21 +424,25 @@ class QueryService:
                 if self._shutdown:
                     return
                 continue
+            with self._gauge_lock:
+                self._depth -= 1
             self._run_ticket(session, ticket)
 
     def _run_ticket(self, session: EduceStar, ticket: QueryTicket) -> None:
         if ticket._cancel.is_set():
-            ticket._finish(_CANCELLED)
-            self._stats.add("service_cancelled")
+            self._finish_unqueued(ticket, _CANCELLED, "service_cancelled")
             return
         now = time.monotonic()
         if ticket._deadline is not None and now >= ticket._deadline:
-            ticket._finish(_TIMEOUT)
-            self._stats.add("service_timeouts")
+            self._finish_unqueued(ticket, _TIMEOUT, "service_timeouts")
             return
 
+        dequeued = time.perf_counter()
+        queue_wait_ms = (dequeued - ticket._submitted_perf) * 1000.0
         ticket.state = _RUNNING
         ticket.worker = threading.current_thread().name
+        with self._gauge_lock:
+            self._inflight += 1
         machine = session.machine
         cancel = ticket._cancel
         ticket_deadline = ticket._deadline
@@ -374,7 +454,22 @@ class QueryService:
                     and time.monotonic() >= ticket_deadline):
                 raise QueryInterrupted("deadline")
 
+        # Per-ticket tracing: the worker owns its session outright, so
+        # flipping its tracer on (and stamping the ticket's trace id on
+        # it) is private state — every engine span emitted during this
+        # query becomes a child of the synthetic ``execute`` span.
+        tracer = session.tracer
+        trace_this = self.trace_tickets or self.slow_query_ms is not None
+        if trace_this:
+            tracer.take_roots()   # drop any stale roots from prior use
+            tracer.trace_id = ticket.trace_id
+            tracer.enabled = True
+
         machine.poll_hook = poll
+        state = _FAILED
+        stat = "service_failed"
+        value: object = None
+        error: Optional[BaseException] = None
         try:
             # The whole query runs under the shared read lock: a writer
             # can never interleave mid-query, so capturing the epoch
@@ -388,19 +483,156 @@ class QueryService:
                                                limit=ticket.limit))
         except QueryInterrupted as interrupted:
             if interrupted.reason == "deadline":
-                ticket._finish(_TIMEOUT)
-                self._stats.add("service_timeouts")
+                state, stat = _TIMEOUT, "service_timeouts"
             else:
-                ticket._finish(_CANCELLED)
-                self._stats.add("service_cancelled")
-        except BaseException as error:  # noqa: BLE001 - recorded on ticket
-            ticket._finish(_FAILED, error=error)
-            self._stats.add("service_failed")
+                state, stat = _CANCELLED, "service_cancelled"
+        except BaseException as err:  # noqa: BLE001 - recorded on ticket
+            state, stat, error = _FAILED, "service_failed", err
         else:
-            ticket._finish(_DONE, value=value)
-            self._stats.add("service_completed")
+            state, stat = _DONE, "service_completed"
         finally:
             machine.poll_hook = None
+            finished = time.perf_counter()
+            roots: List[Span] = []
+            if trace_this:
+                roots = tracer.take_roots()
+                tracer.enabled = False
+                tracer.trace_id = None
+            with self._gauge_lock:
+                self._inflight -= 1
+            try:
+                self._record_terminal(
+                    ticket, state, queue_wait_ms,
+                    execute_ms=(finished - dequeued) * 1000.0,
+                    total_ms=(finished - ticket._submitted_perf) * 1000.0,
+                    exec_start=dequeued, roots=roots, traced=trace_this)
+            finally:
+                # Telemetry strictly before _finish: a consumer woken
+                # by result() must find the terminal event and the
+                # histogram observation already in telemetry().
+                ticket._finish(state, value=value, error=error)
+                self._stats.add(stat)
+
+    # ------------------------------------------------------------- telemetry
+
+    def _finish_unqueued(self, ticket: QueryTicket, state: str,
+                         stat: str) -> None:
+        """Terminal path for tickets that never execute — cancelled or
+        expired while queued, or dropped by ``shutdown(drain=False)``.
+        They still get a terminal event, a trace (queue wait only) and
+        histogram observations, so no admitted ticket ever vanishes
+        from telemetry."""
+        now = time.perf_counter()
+        queue_wait_ms = (now - ticket._submitted_perf) * 1000.0
+        try:
+            self._record_terminal(ticket, state, queue_wait_ms,
+                                  execute_ms=None,
+                                  total_ms=queue_wait_ms,
+                                  exec_start=None, roots=[],
+                                  traced=self.trace_tickets)
+        finally:
+            ticket._finish(state)
+            self._stats.add(stat)
+
+    def _record_terminal(self, ticket: QueryTicket, state: str,
+                         queue_wait_ms: float,
+                         execute_ms: Optional[float],
+                         total_ms: float,
+                         exec_start: Optional[float],
+                         roots: List[Span], traced: bool) -> None:
+        ticket.queue_wait_ms = queue_wait_ms
+        ticket.execute_ms = execute_ms
+        ticket.total_ms = total_ms
+        with self._hist_lock:
+            self._queue_wait_hist.observe(queue_wait_ms)
+            self._ticket_hist.observe(total_ms)
+
+        trace: Optional[Span] = None
+        if traced:
+            trace = self._build_trace(ticket, state, queue_wait_ms,
+                                      execute_ms, total_ms, exec_start,
+                                      roots)
+            ticket.trace = trace
+            if self.trace_tickets:
+                self._traces.append(trace)
+
+        slow = (self.slow_query_ms is not None
+                and total_ms >= self.slow_query_ms)
+        if self.events.enabled:
+            self.events.record(
+                _TERMINAL_EVENT[state], ticket=ticket.id,
+                trace_id=ticket.trace_id, state=state,
+                goal=_goal_label(ticket.goal),
+                queue_wait_ms=round(queue_wait_ms, 3),
+                total_ms=round(total_ms, 3), worker=ticket.worker)
+            if slow:
+                self.events.record(
+                    "query.slow", ticket=ticket.id,
+                    trace_id=ticket.trace_id, state=state,
+                    goal=_goal_label(ticket.goal),
+                    total_ms=round(total_ms, 3),
+                    threshold_ms=self.slow_query_ms)
+        if slow:
+            self._slow.append({
+                "ticket": ticket.id, "trace_id": ticket.trace_id,
+                "state": state, "goal": _goal_label(ticket.goal),
+                "queue_wait_ms": queue_wait_ms,
+                "execute_ms": execute_ms, "total_ms": total_ms,
+                "trace": trace,
+            })
+        self._recent.append({
+            "ticket": ticket.id, "trace_id": ticket.trace_id,
+            "state": state, "goal": _goal_label(ticket.goal),
+            "queue_wait_ms": queue_wait_ms, "execute_ms": execute_ms,
+            "total_ms": total_ms, "worker": ticket.worker,
+            "store_epoch": ticket.store_epoch,
+        })
+
+    def _build_trace(self, ticket: QueryTicket, state: str,
+                     queue_wait_ms: float, execute_ms: Optional[float],
+                     total_ms: float, exec_start: Optional[float],
+                     roots: List[Span]) -> Span:
+        """One span tree for the whole ticket: ``ticket`` at the root,
+        ``queue_wait`` and ``execute`` as children, with the session's
+        own query spans nested under ``execute``."""
+        root = Span("ticket", next(self._span_seq), None, {
+            "trace_id": ticket.trace_id, "ticket": ticket.id,
+            "goal": _goal_label(ticket.goal), "state": state,
+            "worker": ticket.worker})
+        root.start_s = ticket._submitted_perf
+        root.wall_s = total_ms / 1000.0
+        wait = Span("queue_wait", next(self._span_seq), root.span_id,
+                    {"trace_id": ticket.trace_id})
+        wait.start_s = ticket._submitted_perf
+        wait.wall_s = queue_wait_ms / 1000.0
+        root.children.append(wait)
+        if exec_start is not None:
+            execute = Span("execute", next(self._span_seq), root.span_id,
+                           {"trace_id": ticket.trace_id,
+                            "worker": ticket.worker})
+            execute.start_s = exec_start
+            execute.wall_s = (execute_ms or 0.0) / 1000.0
+            execute.children.extend(roots)
+            root.children.append(execute)
+        return root
+
+    def telemetry(self, events: Optional[int] = 200) -> Dict[str, Any]:
+        """One aggregate over everything the service observes: merged
+        counters + histograms, recent ticket summaries, retained span
+        trees, slow-query captures, and the flight recorder's tail."""
+        return {
+            "counters": self.metrics.snapshot(),
+            "gauge_keys": sorted(self.metrics.gauge_keys()),
+            "tickets": list(self._recent),
+            "traces": list(self._traces),
+            "slow_queries": list(self._slow),
+            "events": self.events.tail(events),
+        }
+
+    def exposition(self) -> str:
+        """The service's merged snapshot in Prometheus text format."""
+        return render_prometheus(self.metrics.snapshot(),
+                                 gauge_keys=self.metrics.gauge_keys())
 
     # -------------------------------------------------------------- counters
 
@@ -410,7 +642,30 @@ class QueryService:
             "service_cancelled", "service_timeouts", "service_rejected",
         ), 0)
         counters.update(self._stats.counters())
-        counters["service_queue_depth"] = self._queue.qsize()
+        with self._gauge_lock:
+            counters["service_queue_depth"] = self._depth
+            counters["service_queue_depth_peak"] = self._depth_peak
+            counters["service_inflight"] = self._inflight
         counters["service_workers"] = sum(
             1 for t in self._threads if t.is_alive())
         return counters
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {"service_queue_wait_ms": self._queue_wait_hist,
+                "service_ticket_ms": self._ticket_hist}
+
+
+_TERMINAL_EVENT = {
+    _DONE: "ticket.done",
+    _TIMEOUT: "ticket.deadline",
+    _CANCELLED: "ticket.cancelled",
+    _FAILED: "ticket.failed",
+}
+
+
+def _goal_label(goal: Goal) -> str:
+    """A short, stable label for event/trace attributes."""
+    if isinstance(goal, str):
+        text = " ".join(goal.split())
+        return text if len(text) <= 80 else text[:77] + "..."
+    return getattr(goal, "__name__", None) or repr(goal)

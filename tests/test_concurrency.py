@@ -788,9 +788,23 @@ class TestStressSoak:
         snapshot = svc.metrics.snapshot()
         assert completed > 0 and writer_ops[0] > 0
         assert snapshot["service_queue_depth"] == 0
+        assert snapshot["service_inflight"] == 0
         assert snapshot["buffer_pins"] == snapshot["buffer_unpins"], (
             "pin leak under sustained eviction pressure")
         assert snapshot["buffer_pinned"] == 0
         assert snapshot["buffer_evictions"] > evictions_start, (
             "a pool at 10% of the working set must be evicting")
         assert snapshot["buffer_pin_overflows"] == 0 or pool < 4
+        # Telemetry under soak: the flight recorder stays within its
+        # hard bound no matter how many events the run produced, every
+        # terminal ticket was observed by the latency histogram, and
+        # the maintained peak gauge saw the backlog.
+        ring = store.events
+        assert len(ring) <= ring.capacity, (
+            "event ring exceeded its bound under stress")
+        ring_counters = ring.counters()
+        assert ring_counters["events_recorded"] >= 2 * completed
+        assert snapshot["service_ticket_ms.count"] == \
+            snapshot["service_submitted"], (
+            "every admitted ticket must be observed exactly once")
+        assert snapshot["service_queue_depth_peak"] >= 1

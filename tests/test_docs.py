@@ -28,6 +28,16 @@ def documented(glossary: str) -> set:
     return set(re.findall(r"`([^`\s]+)`", glossary))
 
 
+def canonical(key: str) -> str:
+    """Snapshot key → the name the glossary documents.
+
+    Histogram families appear in snapshots as dotted keys
+    (``latch_wait_ms.p99``, ``latch_wait_ms.bucket.le_0.5``); the
+    glossary documents the family base name once plus the shared
+    suffix vocabulary, not every combination."""
+    return key.split(".", 1)[0]
+
+
 # =====================================================================
 # Counter glossary coverage
 # =====================================================================
@@ -41,7 +51,7 @@ class TestCounterGlossary:
             pass
         names = documented(glossary)
         snapshot = kb.metrics.snapshot()
-        missing = sorted(k for k in snapshot if k not in names)
+        missing = sorted(k for k in snapshot if canonical(k) not in names)
         assert not missing, (
             f"counters emitted but not in docs/OBSERVABILITY.md: {missing}")
 
@@ -52,7 +62,54 @@ class TestCounterGlossary:
         for source in (kb.machine.counters(), kb.loader.counters(),
                        kb.store.pager.io_counters(), kb.counters()):
             for key in source:
-                assert key in names, key
+                assert canonical(key) in names, key
+
+    def test_service_telemetry_documented(self, glossary):
+        """Service counters, histogram families and ring event kinds
+        are all in the glossary — including keys only a live service
+        emits (queue waits, ticket latency, lifecycle events)."""
+        from repro.service import QueryService
+        names = documented(glossary)
+        svc = QueryService(workers=1, queue_size=4, tracing=True)
+        try:
+            svc.store_relation("edge", [(1, 2), (2, 3)])
+            svc.submit("edge(X, Y)").result(timeout=30)
+        finally:
+            svc.shutdown()
+        telemetry = svc.final_telemetry
+        missing = sorted(k for k in telemetry["counters"]
+                         if canonical(k) not in names)
+        assert not missing, (
+            f"service snapshot keys not in docs/OBSERVABILITY.md: "
+            f"{missing}")
+        for event in telemetry["events"]:
+            assert event["kind"] in names, event["kind"]
+
+    def test_histogram_suffix_vocabulary_documented(self, glossary):
+        """The shared dotted-suffix vocabulary itself is spelled out."""
+        names = documented(glossary)
+        for token in (".count", ".sum", ".min", ".max",
+                      ".p50", ".p90", ".p99"):
+            assert token.lstrip(".") in names or token in names or \
+                f"name{token}" in names or f"X{token}" in names, token
+
+    def test_event_kinds_documented(self, glossary):
+        """The full flight-recorder taxonomy, including kinds the tiny
+        service run above never triggers."""
+        names = documented(glossary)
+        for kind in ("ticket.admit", "ticket.done", "ticket.deadline",
+                     "ticket.cancelled", "ticket.failed", "query.slow",
+                     "page.evict", "wal.poison", "store.recovery"):
+            assert kind in names, kind
+
+    def test_histogram_families_documented(self, glossary):
+        names = documented(glossary)
+        for base in ("latch_wait_ms", "lock_read_wait_ms",
+                     "lock_write_wait_ms", "buffer_miss_stall_ms",
+                     "buffer_writeback_ms", "wal_append_ms",
+                     "wal_fsync_ms", "service_queue_wait_ms",
+                     "service_ticket_ms"):
+            assert base in names, base
 
     def test_baseline_counters_documented(self, glossary):
         from repro.engine.educe_baseline import EduceBaseline

@@ -138,6 +138,188 @@ class TestMetricsRegistry:
 
 
 # =====================================================================
+# Histogram percentiles / family diff & merge
+# =====================================================================
+
+class FakeHistSource:
+    def __init__(self, **hists):
+        self.hists = dict(hists)
+
+    def counters(self):
+        return {}
+
+    def histograms(self):
+        return dict(self.hists)
+
+
+def hist_of(*values):
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    return h
+
+
+class TestHistogramPercentiles:
+    def test_percentiles_bucketed(self):
+        h = hist_of(*([1.0] * 90 + [100.0] * 10))
+        # p50/p90 land in the bucket whose upper bound is 1.0
+        assert h.percentile(0.50) == 1.0
+        assert h.percentile(0.90) == 1.0
+        # p99 lands in the tail bucket; clamped to the exact max
+        assert h.percentile(0.99) == 100.0
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = hist_of(3.0)
+        # bucket upper bound is 5.0, but max observed is 3.0
+        assert h.percentile(0.99) == 3.0
+        assert h.percentile(0.50) == 3.0
+
+    def test_as_dict_buckets_cumulative(self):
+        h = hist_of(0.01, 0.2, 400.0)
+        d = h.as_dict("x")
+        assert d["x.count"] == 3
+        assert d["x.bucket.le_0.05"] == 1
+        assert d["x.bucket.le_0.25"] == 2
+        assert d["x.bucket.le_500"] == 3
+        assert d["x.bucket.le_inf"] == 3
+        # the estimate is the containing bucket's upper bound
+        assert d["x.p50"] == pytest.approx(0.25)
+
+    def test_merge_from_mismatched_ladders_is_conservative(self):
+        a = Histogram(boundaries=(1.0, 2.0))
+        a.observe(1.5)
+        b = hist_of(0.01)
+        a.merge_from(b)
+        assert a.count == 2
+        assert a.min == 0.01 and a.max == 1.5
+
+    def test_source_histograms_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.attach(FakeHistSource(wait_ms=hist_of(1.0, 2.0)))
+        snap = reg.snapshot()
+        assert snap["wait_ms.count"] == 2
+        assert snap["wait_ms.max"] == 2.0
+
+    def test_same_named_source_histograms_fold(self):
+        reg = MetricsRegistry()
+        reg.attach(FakeHistSource(wait_ms=hist_of(1.0)))
+        reg.attach(FakeHistSource(wait_ms=hist_of(9.0)))
+        snap = reg.snapshot()
+        assert snap["wait_ms.count"] == 2
+        assert snap["wait_ms.min"] == 1.0
+        assert snap["wait_ms.max"] == 9.0
+
+    def test_diff_drops_family_without_new_observations(self):
+        reg = MetricsRegistry()
+        src = FakeHistSource(wait_ms=hist_of(1.0))
+        reg.attach(src)
+        before = reg.snapshot()
+        diff = reg.diff(reg.snapshot(), before)
+        assert not any(k.startswith("wait_ms") for k in diff)
+
+    def test_diff_recomputes_percentiles_from_bucket_deltas(self):
+        reg = MetricsRegistry()
+        h = Histogram()
+        src = FakeHistSource(wait_ms=h)
+        reg.attach(src)
+        for _ in range(100):
+            h.observe(1.0)           # slow era
+        before = reg.snapshot()
+        for _ in range(100):
+            h.observe(100.0)         # fast-forward era
+        diff = reg.diff(reg.snapshot(), before)
+        assert diff["wait_ms.count"] == 100
+        # the delta's distribution is all-100s, not the lifetime mix
+        assert diff["wait_ms.p50"] == 100.0
+
+    def test_merge_preserves_tails(self):
+        """Merging snapshots must not average away extremes — the
+        satellite fix for mean-only histograms."""
+        fast = hist_of(*([1.0] * 99)).as_dict("lat")
+        slow = hist_of(5000.0).as_dict("lat")
+        merged = MetricsRegistry.merge(fast, slow)
+        assert merged["lat.count"] == 100
+        assert merged["lat.max"] == 5000.0     # tail survives
+        assert merged["lat.min"] == 1.0
+        assert merged["lat.p99"] == 1.0        # 99% of obs are <= 1.0
+        assert merged["lat.bucket.le_inf"] == 100
+
+
+# =====================================================================
+# EventRing — the flight recorder
+# =====================================================================
+
+class TestEventRing:
+    def test_record_and_tail_ordered(self):
+        from repro.obs import EventRing
+        ring = EventRing(capacity=16, stripes=2)
+        for i in range(5):
+            ring.record("k", n=i)
+        tail = ring.tail()
+        assert [e["n"] for e in tail] == [0, 1, 2, 3, 4]
+        assert [e["seq"] for e in tail] == sorted(
+            e["seq"] for e in tail)
+        assert all(e["kind"] == "k" and e["ts"] > 0 for e in tail)
+
+    def test_tail_n_returns_most_recent(self):
+        from repro.obs import EventRing
+        ring = EventRing(capacity=16, stripes=1)
+        for i in range(10):
+            ring.record("k", n=i)
+        assert [e["n"] for e in ring.tail(3)] == [7, 8, 9]
+
+    def test_bounded_and_drop_counted(self):
+        from repro.obs import EventRing
+        ring = EventRing(capacity=8, stripes=1)
+        for i in range(50):
+            ring.record("k", n=i)
+        assert len(ring) == 8
+        counters = ring.counters()
+        assert counters["events_recorded"] == 50
+        assert counters["events_dropped"] == 42
+        # oldest dropped, newest retained
+        assert [e["n"] for e in ring.tail()] == list(range(42, 50))
+
+    def test_capacity_never_exceeded_multithreaded(self):
+        import threading
+        from repro.obs import EventRing
+        ring = EventRing(capacity=64, stripes=4)
+
+        def hammer(tid):
+            for i in range(500):
+                ring.record("k", tid=tid, n=i)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ring) <= ring.capacity
+        counters = ring.counters()
+        assert counters["events_recorded"] == 4000
+        assert counters["events_recorded"] - counters["events_dropped"] \
+            == len(ring)
+
+    def test_null_ring_disabled_and_locked(self):
+        from repro.obs import NULL_EVENTS
+        assert not NULL_EVENTS.enabled
+        NULL_EVENTS.record("k")
+        assert len(NULL_EVENTS) == 0
+        with pytest.raises(ValueError):
+            NULL_EVENTS.enabled = True
+        NULL_EVENTS.enabled = False   # idempotent no-op allowed
+
+    def test_clear(self):
+        from repro.obs import EventRing
+        ring = EventRing(capacity=8)
+        ring.record("k")
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.counters()["events_recorded"] == 1
+
+
+# =====================================================================
 # Tracer / Span
 # =====================================================================
 
