@@ -49,6 +49,8 @@ def main() -> None:
         ("haran", "yiscah"), ("isaac", "esau"), ("isaac", "jacob"),
     ])
     svc.store_program(
+        "% lint: external parent/2\n"
+        "% lint: disable=L104 anc/2\n"
         "anc(X, Y) :- parent(X, Y). "
         "anc(X, Z) :- parent(X, Y), anc(Y, Z).")
     store.pager.disk.read_latency_s = 0.002

@@ -45,6 +45,8 @@ def build_and_save(path: str) -> None:
 
     # Rules, compiled into the EDB.
     kb.store_program("""
+        % lint: external flight/4
+        % lint: disable=L104 itinerary/3
         connected(A, B) :- flight(A, B, _, _).
         itinerary(A, B, [A, B]) :- connected(A, B).
         itinerary(A, B, [A|Rest]) :-
@@ -89,6 +91,7 @@ def reopen_and_use(path: str) -> None:
 
     # The deterministic cursor interface over the derived relation.
     kb.consult("""
+        % lint: disable=L104 drain/2
         drain(D, [T|Ts]) :- next_tuple(D, T), !, drain(D, Ts).
         drain(_, []).
         early_departures(Limit, Cities) :-

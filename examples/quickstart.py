@@ -28,6 +28,8 @@ def main() -> None:
 
     # --- 2. rules stored as compiled WAM code in the EDB ---------------
     kb.store_program("""
+        % lint: external parent/2
+        % lint: disable=L104 ancestor/2 lineage/2
         ancestor(X, Y) :- parent(X, Y).
         ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
 

@@ -30,6 +30,13 @@ A minimal shell over an :class:`~repro.EduceStar` session:
                   recovery, ... (docs/OBSERVABILITY.md)
   ``:export F``   append the last traced query's profile to F
                   as JSON lines (see docs/OBSERVABILITY.md)
+  ``:verify P``   static analysis of predicate P (``name/arity``):
+                  structural + abstract verification of its compiled
+                  code, first-argument partitions, dead clauses
+                  (rule glossary: docs/ANALYSIS.md)
+  ``:lint [F]``   lint a Prolog file — or, with no argument, the
+                  whole shipped corpus (prelude, workloads,
+                  examples), same as ``python -m repro.analysis``
   ``:help``       this text
   ``:quit``       leave
   ==============  ==============================================
@@ -230,6 +237,30 @@ def command(session, line: str, interactive: bool):
         else:
             TRACE["on"] = (arg == "on") if arg else not TRACE["on"]
             print(f"tracing {'on' if TRACE['on'] else 'off'}")
+    elif cmd == ":verify" and arg:
+        from repro.analysis import describe_procedure
+        name, slash, arity_text = arg.rpartition("/")
+        if not slash or not arity_text.isdigit():
+            print("usage: :verify name/arity")
+        else:
+            print(describe_procedure(session, name, int(arity_text)))
+    elif cmd == ":lint":
+        from repro.analysis.corpus import CorpusEntry, corpus_entries
+        from repro.analysis.lint import lint_text
+        if arg:
+            with open(arg, "r", encoding="utf-8") as f:
+                entries = [CorpusEntry(arg, f.read())]
+        else:
+            entries = corpus_entries()
+        total = 0
+        for entry in entries:
+            findings = lint_text(entry.text, name=entry.name,
+                                 extra_defined=entry.extra_defined)
+            total += len(findings)
+            for finding in findings:
+                print(f"  {entry.name}: {finding.rule} "
+                      f"{finding.indicator}: {finding.message}")
+        print(f"{len(entries)} unit(s), {total} finding(s)")
     elif cmd == ":export" and arg:
         if session.last_profile is None:
             print("no traced query yet (:trace, then run a query)")

@@ -1,0 +1,80 @@
+"""The shipped Prolog corpus: every program text this repository ships.
+
+CI lints and verifies all of it (``python -m repro.analysis``): the
+prelude library, the workload rule programs, and every Prolog program
+embedded in the examples (extracted from the ``consult`` /
+``store_program`` string literals by a small AST walk, so a new example
+is in the corpus the moment it is committed).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["CorpusEntry", "corpus_entries", "repo_root"]
+
+_EMBED_CALLS = {"consult", "store_program"}
+
+
+@dataclass
+class CorpusEntry:
+    """One lintable/verifiable program text."""
+    name: str
+    text: str
+    #: indicators defined outside the text (stored facts relations the
+    #: surrounding code creates) — the in-text pragmas cover the rest
+    extra_defined: Tuple[Tuple[str, int], ...] = ()
+    #: lint only — directive-heavy snippets with nothing to compile
+    lint_only: bool = False
+
+
+def repo_root() -> str:
+    """The repository checkout root (src/repro/analysis → up 3)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(os.path.dirname(here)))
+
+
+def corpus_entries() -> List[CorpusEntry]:
+    from ..wam.prelude import PRELUDE_SOURCE
+    from ..workloads import integrity, mvv
+    entries = [
+        CorpusEntry("wam/prelude.py", PRELUDE_SOURCE),
+        CorpusEntry("workloads/mvv.py", mvv.RULES),
+        CorpusEntry("workloads/integrity.py",
+                    integrity.PROGRAM + "\n" + integrity.CHECKER),
+    ]
+    entries.extend(_example_entries())
+    return entries
+
+
+def _example_entries() -> List[CorpusEntry]:
+    examples = os.path.join(repo_root(), "examples")
+    if not os.path.isdir(examples):  # installed without examples
+        return []
+    out: List[CorpusEntry] = []
+    for filename in sorted(os.listdir(examples)):
+        if not filename.endswith(".py"):
+            continue
+        path = os.path.join(examples, filename)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                tree = ast.parse(f.read(), filename=path)
+        except (OSError, SyntaxError):
+            continue
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _EMBED_CALLS
+                    and len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                continue
+            text = node.args[0].value
+            if "." not in text:
+                continue  # not a program (e.g. an empty string)
+            out.append(CorpusEntry(
+                f"examples/{filename}:{node.lineno}", text))
+    return out

@@ -1,0 +1,341 @@
+"""Source-level lint for Prolog programs (L rules).
+
+Operates on the program *text* (the unit everything in this repo ships
+Prolog as: prelude string, workload rule strings, example programs,
+``.pl`` files), parsing it with the standard reader and walking the
+clause terms.  Findings carry the clause's predicate indicator rather
+than a line number — terms do not record source positions.
+
+Waivers are inline pragmas in Prolog comments, file-wide in scope::
+
+    % lint: disable=L104 member/2 select/3
+    % lint: disable=L101
+    % lint: external schedule3/11 location2/2
+
+``disable`` suppresses a rule (for the named predicates, or everywhere
+when no indicator is given); ``external`` declares predicates defined
+outside this text (EDB relations, another program unit) so L102 does
+not flag calls to them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang.reader import Reader
+from ..terms import Atom, Struct, Term, Var
+
+__all__ = ["RULES", "LintFinding", "lint_text"]
+
+#: Lint rule glossary (ids are stable; see docs/ANALYSIS.md).
+RULES: Dict[str, str] = {
+    "L101": "singleton variable: a named variable occurs exactly once "
+            "in its clause (prefix with _ when intentional)",
+    "L102": "undefined predicate: a reachable goal's indicator has no "
+            "definition in this text, the prelude, the built-ins or a "
+            "declared external",
+    "L103": "discontiguous clauses: a predicate's clauses are "
+            "interleaved with another predicate's",
+    "L104": "unindexable first argument: a multi-clause predicate "
+            "first-argument indexing cannot discriminate (all clause "
+            "heads start with a variable, or arity 0)",
+}
+
+_PRAGMA_RE = re.compile(
+    r"%\s*lint:\s*(?:disable=(?P<rule>[A-Z]\d{3})|(?P<ext>external))"
+    r"(?P<inds>(?:\s+\S+/\d+)*)\s*$",
+    re.MULTILINE)
+
+_IND_RE = re.compile(r"(\S+)/(\d+)")
+
+#: goals the compiler handles directly (no registered indicator)
+_CONTROL = {("true", 0), ("fail", 0), ("false", 0), ("!", 0),
+            ("otherwise", 0)}
+
+#: meta-predicates: which argument positions are themselves goals
+_META_GOAL_ARGS = {
+    (",", 2): (0, 1), (";", 2): (0, 1), ("->", 2): (0, 1),
+    ("\\+", 1): (0,), ("not", 1): (0,), ("once", 1): (0,),
+    ("ignore", 1): (0,), ("call", 1): (0,), ("forall", 2): (0, 1),
+    ("findall", 3): (1,), ("bagof", 3): (1,), ("setof", 3): (1,),
+    ("aggregate_all", 3): (1,),
+}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint diagnostic, keyed by predicate indicator."""
+    rule: str
+    indicator: str  # "name/arity" of the offending predicate
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"{self.rule} {self.indicator}: {self.message}"
+
+
+def lint_text(text: str, name: str = "",
+              extra_defined: Tuple[Tuple[str, int], ...] = ()
+              ) -> List[LintFinding]:
+    """Lint one Prolog program text; return the unwaived findings."""
+    _ensure_builtin_registry()
+    disabled, externals = _parse_pragmas(text)
+    reader = Reader()
+    defined: Set[Tuple[str, int]] = set(extra_defined) | externals
+    heads: List[Tuple[str, int]] = []  # clause heads, in source order
+    first_arg_kinds: Dict[Tuple[str, int], List[str]] = {}
+    calls: List[Tuple[Tuple[str, int], Tuple[str, int]]] = []
+    findings: List[LintFinding] = []
+
+    for clause in reader.read_terms(text):
+        if isinstance(clause, Struct) and clause.name == ":-" \
+                and clause.arity == 1:
+            _apply_directive(clause.args[0], reader, defined)
+            continue
+        head, body = _split(clause)
+        ind = _indicator(head)
+        if ind is None:
+            continue
+        heads.append(ind)
+        defined.add(ind)
+        first_arg_kinds.setdefault(ind, []).append(_first_arg_kind(head))
+        for singleton in _singletons(clause):
+            findings.append(LintFinding(
+                "L101", _fmt(ind),
+                f"singleton variable {singleton} in clause "
+                f"{len(first_arg_kinds[ind])} of {_fmt(ind)}"))
+        if body is not None:
+            for goal_ind in _goal_indicators(body):
+                calls.append((ind, goal_ind))
+
+    # L103 — discontiguous clause blocks
+    seen: Set[Tuple[str, int]] = set()
+    reported: Set[Tuple[str, int]] = set()
+    previous: Optional[Tuple[str, int]] = None
+    for ind in heads:
+        if ind != previous and ind in seen and ind not in reported:
+            reported.add(ind)
+            findings.append(LintFinding(
+                "L103", _fmt(ind),
+                f"clauses of {_fmt(ind)} are not contiguous"))
+        seen.add(ind)
+        previous = ind
+
+    # L102 — undefined predicates in the call graph
+    flagged: Set[Tuple[Tuple[str, int], Tuple[str, int]]] = set()
+    for caller, callee in calls:
+        if callee in defined or callee in _CONTROL:
+            continue
+        if _builtin(callee) or callee in _prelude_indicators():
+            continue
+        if (caller, callee) in flagged:
+            continue
+        flagged.add((caller, callee))
+        findings.append(LintFinding(
+            "L102", _fmt(callee),
+            f"{_fmt(caller)} calls undefined {_fmt(callee)} "
+            "(declare '% lint: external' if stored in the EDB)"))
+
+    # L104 — unindexable multi-clause predicates
+    for ind, kinds in first_arg_kinds.items():
+        if len(kinds) < 2:
+            continue
+        if ind[1] == 0:
+            findings.append(LintFinding(
+                "L104", _fmt(ind),
+                f"{_fmt(ind)} has {len(kinds)} clauses and no "
+                "arguments to index on"))
+        elif all(kind == "var" for kind in kinds):
+            findings.append(LintFinding(
+                "L104", _fmt(ind),
+                f"every clause of {_fmt(ind)} starts with a variable; "
+                "first-argument indexing cannot discriminate"))
+
+    return [f for f in findings if not _waived(f, disabled)]
+
+
+# =====================================================================
+# Helpers
+# =====================================================================
+
+def _parse_pragmas(text: str):
+    disabled: Dict[str, Optional[Set[str]]] = {}
+    externals: Set[Tuple[str, int]] = set()
+    for m in _PRAGMA_RE.finditer(text):
+        inds = [(name, int(arity))
+                for name, arity in _IND_RE.findall(m.group("inds") or "")]
+        if m.group("ext"):
+            externals.update(inds)
+        else:
+            rule = m.group("rule")
+            if not inds:
+                disabled[rule] = None  # everywhere
+            elif disabled.get(rule, set()) is not None:
+                disabled.setdefault(rule, set()).update(
+                    _fmt(ind) for ind in inds)
+    return disabled, externals
+
+
+def _waived(finding: LintFinding,
+            disabled: Dict[str, Optional[Set[str]]]) -> bool:
+    if finding.rule not in disabled:
+        return False
+    scope = disabled[finding.rule]
+    return scope is None or finding.indicator in scope
+
+
+def _fmt(ind: Tuple[str, int]) -> str:
+    return f"{ind[0]}/{ind[1]}"
+
+
+def _split(clause: Term):
+    if isinstance(clause, Struct) and clause.name == ":-" \
+            and clause.arity == 2:
+        return clause.args[0], clause.args[1]
+    return clause, None
+
+
+def _indicator(head: Term) -> Optional[Tuple[str, int]]:
+    if isinstance(head, Struct):
+        return (head.name, head.arity)
+    if isinstance(head, Atom):
+        return (head.name, 0)
+    return None
+
+
+def _first_arg_kind(head: Term) -> str:
+    if not isinstance(head, Struct) or head.arity == 0:
+        return "none"
+    arg = head.args[0]
+    if isinstance(arg, Var):
+        return "var"
+    if isinstance(arg, Struct):
+        return "list" if (arg.name == "." and arg.arity == 2) \
+            else "struct"
+    return "const"  # atoms and numbers
+
+
+def _singletons(clause: Term) -> List[str]:
+    counts: Dict[int, int] = {}
+    vars_by_id: Dict[int, Var] = {}
+    _count_vars(clause, counts, vars_by_id)
+    out = []
+    for key, n in counts.items():
+        var = vars_by_id[key]
+        if n == 1 and var.name and not var.name.startswith("_"):
+            out.append(var.name)
+    return sorted(out)
+
+
+def _count_vars(term: Term, counts: Dict[int, int],
+                vars_by_id: Dict[int, Var]) -> None:
+    if isinstance(term, Var):
+        counts[id(term)] = counts.get(id(term), 0) + 1
+        vars_by_id[id(term)] = term
+    elif isinstance(term, Struct):
+        for arg in term.args:
+            _count_vars(arg, counts, vars_by_id)
+
+
+def _goal_indicators(body: Term) -> List[Tuple[str, int]]:
+    """Indicators of every goal reachable in *body*, descending
+    through the control constructs and meta-predicate goal arguments."""
+    out: List[Tuple[str, int]] = []
+
+    def walk(goal: Term) -> None:
+        goal = _strip_caret(goal)
+        if isinstance(goal, Var):
+            return  # metacall through a variable: not analysable
+        if isinstance(goal, Atom):
+            out.append((goal.name, 0))
+            return
+        if not isinstance(goal, Struct):
+            return  # a number in goal position is a runtime type error
+        meta = _META_GOAL_ARGS.get((goal.name, goal.arity))
+        if meta is not None:
+            for pos in meta:
+                walk(goal.args[pos])
+            return
+        if goal.name == "call" and goal.arity >= 2:
+            target = goal.args[0]
+            extra = goal.arity - 1
+            if isinstance(target, Atom):
+                out.append((target.name, extra))
+            elif isinstance(target, Struct):
+                out.append((target.name, target.arity + extra))
+            return
+        out.append((goal.name, goal.arity))
+
+    walk(body)
+    return out
+
+
+def _strip_caret(goal: Term) -> Term:
+    while isinstance(goal, Struct) and goal.name == "^" \
+            and goal.arity == 2:
+        goal = goal.args[1]
+    return goal
+
+
+def _apply_directive(directive: Term, reader: Reader,
+                     defined: Set[Tuple[str, int]]) -> None:
+    """Honour the directives lint cares about: operator declarations
+    (so the rest of the text parses the way the machine parses it) and
+    dynamic/discontiguous declarations (callable without clauses)."""
+    if isinstance(directive, Struct) and directive.name == "op" \
+            and directive.arity == 3:
+        priority, type_, name = directive.args
+        if isinstance(priority, int) and isinstance(type_, Atom) \
+                and isinstance(name, Atom):
+            reader.operators.add(priority, type_.name, name.name)
+        return
+    if isinstance(directive, Struct) and directive.arity == 1 \
+            and directive.name in ("dynamic", "discontiguous"):
+        for ind in _indicator_list(directive.args[0]):
+            defined.add(ind)
+
+
+def _indicator_list(term: Term) -> List[Tuple[str, int]]:
+    if isinstance(term, Struct) and term.name == "," and term.arity == 2:
+        return _indicator_list(term.args[0]) + \
+            _indicator_list(term.args[1])
+    if isinstance(term, Struct) and term.name == "/" and term.arity == 2:
+        name, arity = term.args
+        if isinstance(name, Atom) and isinstance(arity, int):
+            return [(name.name, arity)]
+    return []
+
+
+def _builtin(ind: Tuple[str, int]) -> bool:
+    from ..wam.compiler import is_builtin_indicator
+    if is_builtin_indicator(ind[0], ind[1]):
+        return True
+    # call/N is open-ended; the registry holds a finite prefix
+    return ind[0] == "call" and ind[1] >= 1
+
+
+_PRELUDE: Optional[Set[Tuple[str, int]]] = None
+
+
+def _prelude_indicators() -> Set[Tuple[str, int]]:
+    """Head indicators of the prelude library (every session loads it,
+    so its predicates are always callable)."""
+    global _PRELUDE
+    if _PRELUDE is None:
+        from ..wam.prelude import PRELUDE_SOURCE
+        indicators: Set[Tuple[str, int]] = set()
+        for clause in Reader().read_terms(PRELUDE_SOURCE):
+            head, _ = _split(clause)
+            ind = _indicator(head)
+            if ind is not None:
+                indicators.add(ind)
+        _PRELUDE = indicators
+    return _PRELUDE
+
+
+def _ensure_builtin_registry() -> None:
+    """Import every module that registers builtin indicators, so the
+    L102 defined-set matches what a real session can call."""
+    from ..wam import builtins  # noqa: F401  (registers at import)
+    from ..engine import cursors, relops, types  # noqa: F401

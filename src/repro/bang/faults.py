@@ -65,6 +65,7 @@ class FaultInjector:
     def __init__(self):
         self.writes_seen = 0
         self.reads_seen = 0
+        self.clause_records_seen = 0
         #: crash-point name -> remaining hits to skip before firing
         self._crash_points: Dict[str, int] = {}
         #: crash-point name -> remaining hits to skip before raising
@@ -74,6 +75,7 @@ class FaultInjector:
         self._fail_write_nth: Optional[int] = None
         self._torn_write: Optional[Tuple[int, float]] = None  # (nth, keep)
         self._bitflip_read: Optional[Tuple[int, int]] = None  # (nth, bit)
+        self._clause_bitflip: Optional[Tuple[int, int]] = None  # (nth, bit)
         #: every fault that actually fired, in order (test assertions)
         self.fired: List[str] = []
 
@@ -108,6 +110,17 @@ class FaultInjector:
         """The *nth* physical read returns its data with *bit* (absolute
         bit index into the buffer) inverted."""
         self._bitflip_read = (nth, bit)
+        return self
+
+    def arm_clause_bitflip(self, nth: int, bit: int = 0
+                           ) -> "FaultInjector":
+        """The *nth* compiled clause record the dynamic loader decodes
+        (1-based, across every rule fetch) comes back with *bit*
+        inverted in its first instruction's opcode — in-storage bit rot
+        of a compiled clause blob, below the page CRC's radar (e.g. a
+        stale checksum recomputed over rotten bytes).  The loader's
+        verifier must catch and quarantine it (docs/ANALYSIS.md)."""
+        self._clause_bitflip = (nth, bit)
         return self
 
     # -------------------------------------------------------------- hooks
@@ -167,12 +180,42 @@ class FaultInjector:
                 self.fired.append(f"bitflip_read#{n}")
         return data
 
+    def clause_record(self, code: list) -> list:
+        """One decoded compiled-clause record passing through the
+        loader, subject to the fault plan."""
+        self.clause_records_seen += 1
+        n = self.clause_records_seen
+        if self._clause_bitflip is not None and self._clause_bitflip[0] == n:
+            _, bit = self._clause_bitflip
+            self._clause_bitflip = None
+            self.fired.append(f"clause_bitflip#{n}")
+            return _flip_opcode_bit(code, bit)
+        return code
+
     @property
     def armed(self) -> bool:
         return bool(self._crash_points or self._io_error_points
                     or self._fail_write_nth is not None
                     or self._torn_write is not None
-                    or self._bitflip_read is not None)
+                    or self._bitflip_read is not None
+                    or self._clause_bitflip is not None)
+
+
+def _flip_opcode_bit(code: list, bit: int) -> list:
+    """Return *code* with one bit of the first instruction's opcode
+    string inverted — a corruption :func:`repro.edb.codec.decode_code`
+    passes through verbatim (unknown opcodes transcode as-is), so only
+    the verifier stands between it and the emulator."""
+    if not code or not isinstance(code[0], tuple) or not code[0]:
+        return [("corrupt_record",)]
+    instr = code[0]
+    raw = bytearray(str(instr[0]).encode("utf-8", "replace") or b"?")
+    bit %= len(raw) * 8
+    raw[bit // 8] ^= 1 << (bit % 8)
+    flipped = raw.decode("utf-8", "replace")
+    out = list(code)
+    out[0] = (flipped,) + instr[1:]
+    return out
 
 
 class NullFaultInjector(FaultInjector):
@@ -180,6 +223,9 @@ class NullFaultInjector(FaultInjector):
 
     def crash_point(self, name: str) -> None:
         pass
+
+    def clause_record(self, code: list) -> list:
+        return code
 
     def write(self, f: IO[bytes], data: bytes) -> None:
         f.write(data)
@@ -196,6 +242,7 @@ class NullFaultInjector(FaultInjector):
     arm_fail_write = _refuse
     arm_torn_write = _refuse
     arm_bitflip_read = _refuse
+    arm_clause_bitflip = _refuse
 
 
 NULL_FAULTS = NullFaultInjector()

@@ -30,9 +30,13 @@ the matching tuples, with no compiler involvement.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis.verifier import verify_code
+from ..errors import VerifyError
 from ..locks import Latch
+from ..obs.registry import Histogram
 from ..obs.tracing import NULL_TRACER
 from ..wam import instructions as I
 from ..wam.compiler import CompiledClause
@@ -41,16 +45,23 @@ from .codec import decode_code
 from .preunify import PreUnifier
 from .store import ExternalStore, StoredClause
 
+#: accepted loader verification levels (docs/ANALYSIS.md)
+VERIFY_LEVELS = ("off", "structural", "full")
+
 
 class DynamicLoader:
     """Per-session loader over one :class:`ExternalStore`."""
 
     def __init__(self, store: ExternalStore,
                  preunifier: Optional[PreUnifier] = None,
-                 index: bool = True):
+                 index: bool = True, verify: str = "structural"):
+        if verify not in VERIFY_LEVELS:
+            raise ValueError(
+                f"verify={verify!r}: expected one of {VERIFY_LEVELS}")
         self.store = store
         self.preunifier = preunifier or PreUnifier("full")
         self.index = index
+        self.verify = verify
         self.tracer = NULL_TRACER  # session installs its shared tracer
         # The cache is keyed by (name, arity, version, pattern, depth):
         # the stored procedure's *version* rides in the key, so an entry
@@ -73,6 +84,10 @@ class DynamicLoader:
         #: differential concurrency suite asserts it never goes back
         self.cache_epoch = 0
         self.cache_invalidated_entries = 0
+        #: clause records put through the verifier / rejected by it
+        self.verify_checks = 0
+        self.verify_rejects = 0
+        self._verify_hist = Histogram()
 
     # ------------------------------------------------------------------ API
 
@@ -150,18 +165,26 @@ class DynamicLoader:
         if proc.mode == "source":
             return self._load_source(machine, clauses)
 
+        faults = self.store.faults
         with self.tracer.span("codec.resolve",
                               clauses=len(clauses)) as span:
             decoded = []
             resolved = 0
             for sc in clauses:
                 resolved += _count_refs(sc.relative_code)
-                decoded.append(decode_code(
+                code = decode_code(
                     sc.relative_code, machine.dictionary,
-                    self.store.external_dict))
+                    self.store.external_dict)
+                decoded.append(faults.clause_record(code))
             self.resolutions += resolved
             if span is not None:
                 span.attrs["resolutions"] = resolved
+
+        # Retrieved code is verified *before* anything executes it —
+        # the pre-unifier's execution filter runs head prefixes, so the
+        # gate has to sit here, between decode and filtering.
+        if self.verify != "off":
+            self._verify_clauses(machine, name, arity, clauses, decoded)
 
         survivors = self.preunifier.filter_by_execution(
             machine, clauses, decoded)
@@ -171,7 +194,56 @@ class DynamicLoader:
             self._as_compiled(machine, clauses[i], decoded[i])
             for i in survivors
         ]
-        return build_procedure_code(compiled, index=self.index)
+        block = build_procedure_code(compiled, index=self.index)
+        if self.verify == "full" and compiled:
+            started = perf_counter()
+            self.verify_checks += 1
+            try:
+                verify_code(block, arity=arity,
+                            dictionary=machine.dictionary, level="full",
+                            procedure=f"{name}/{arity}")
+            except VerifyError as exc:
+                self._reject(name, arity, None, exc)
+                raise
+            finally:
+                self._verify_hist.observe(
+                    (perf_counter() - started) * 1000.0)
+        return block
+
+    def _verify_clauses(self, machine, name: str, arity: int,
+                        clauses: List[StoredClause],
+                        decoded: List[list]) -> None:
+        """Gate every decoded clause record behind the verifier; a
+        rejected record raises :class:`VerifyError` (typed, with rule
+        id and offset) and the whole load is quarantined — the block is
+        never cached and never executed."""
+        level = self.verify
+        started = perf_counter()
+        try:
+            for sc, code in zip(clauses, decoded):
+                self.verify_checks += 1
+                try:
+                    verify_code(code, arity=arity,
+                                dictionary=machine.dictionary,
+                                level=level,
+                                procedure=f"{name}/{arity}")
+                except VerifyError as exc:
+                    self._reject(name, arity, sc, exc)
+                    raise
+        finally:
+            self._verify_hist.observe(
+                (perf_counter() - started) * 1000.0)
+
+    def _reject(self, name: str, arity: int,
+                sc: Optional[StoredClause], exc: VerifyError) -> None:
+        self.verify_rejects += 1
+        events = self.store.events
+        if events.enabled:
+            events.record("verify.reject",
+                          procedure=f"{name}/{arity}",
+                          clause_id=(sc.clause_id if sc is not None
+                                     else None),
+                          rule=exc.rule, offset=exc.offset)
 
     def _as_compiled(self, machine, sc: StoredClause,
                      code: list) -> CompiledClause:
@@ -233,13 +305,18 @@ class DynamicLoader:
             "cache_epoch": self.cache_epoch,
             "cache_invalidated_entries": self.cache_invalidated_entries,
             "loader_cache_entries": len(self._cache),
+            "verify_checks": self.verify_checks,
+            "verify_rejects": self.verify_rejects,
         }
         counters.update(self._latch.counters())
         return counters
 
     def histograms(self) -> dict:
-        """Wait-duration histograms (the loader cache latch)."""
-        return self._latch.histograms()
+        """Wait-duration histograms (the loader cache latch) plus the
+        time spent verifying fetched code (``verify_ms``)."""
+        out = dict(self._latch.histograms())
+        out["verify_ms"] = self._verify_hist
+        return out
 
 
 def _facts_assignment(summaries: Dict[int, tuple]) -> Dict[int, object]:

@@ -44,6 +44,7 @@ class EduceStar:
                  pager: Optional[Pager] = None,
                  preunify_depth: str = "full",
                  index: bool = True,
+                 verify: str = "structural",
                  gc_enabled: bool = True,
                  gc_threshold: int = 200_000,
                  dictionary_segment: int = 32000,
@@ -55,7 +56,8 @@ class EduceStar:
                                gc_threshold=gc_threshold)
         self.store = store or ExternalStore(pager=pager)
         self.preunifier = PreUnifier(preunify_depth)
-        self.loader = DynamicLoader(self.store, self.preunifier, index=index)
+        self.loader = DynamicLoader(self.store, self.preunifier,
+                                    index=index, verify=verify)
         self.machine.unknown_handler = self._edb_trap
         self.cost_model = cost_model or CostModel()
         self.parsed_chars = 0

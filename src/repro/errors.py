@@ -75,6 +75,26 @@ class MachineError(PrologError):
     compiler or loader bug rather than a user error."""
 
 
+class VerifyError(PrologError):
+    """A WAM code block failed static verification (:mod:`repro.analysis`).
+
+    Raised by the compiler/assembler self-checks and by the dynamic
+    loader when code fetched from the EDB is rejected *before* the
+    emulator runs it.  Carries the rule id (``docs/ANALYSIS.md``), the
+    instruction offset and a human-readable reason.
+    """
+
+    def __init__(self, rule: str, offset: int, reason: str,
+                 procedure: str = ""):
+        self.rule = rule
+        self.offset = offset
+        self.reason = reason
+        self.procedure = procedure
+        where = f" in {procedure}" if procedure else ""
+        super().__init__(
+            f"verify_error({rule}, offset {offset}{where}): {reason}")
+
+
 class StorageError(ReproError):
     """Base class for storage-level (BANG / pager / EDB) errors."""
 

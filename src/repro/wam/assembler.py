@@ -12,7 +12,7 @@ forms of control code to the clausal code stored in the EDB").
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..errors import MachineError
 from . import instructions as I
@@ -25,9 +25,32 @@ _LABEL_OPERAND_OPS = {
     I.TRUST,
 }
 
+#: When true, every assembled block is structurally verified
+#: (:mod:`repro.analysis.verifier`).  Enabled by the test suite via
+#: :func:`repro.analysis.enable_self_verify`; off in production — the
+#: dynamic loader has its own configurable verification level.
+_SELF_VERIFY = False
+
+
+def set_self_verify(enabled: bool) -> None:
+    global _SELF_VERIFY
+    _SELF_VERIFY = bool(enabled)
+
+
+def self_verify_enabled() -> bool:
+    return _SELF_VERIFY
+
 
 def assemble(code: List[tuple]) -> List[tuple]:
     """Resolve labels to offsets; returns a new executable code block."""
+    return assemble_with_offsets(code)[0]
+
+
+def assemble_with_offsets(code: List[tuple]
+                          ) -> Tuple[List[tuple], Dict[str, int]]:
+    """Like :func:`assemble`, but also return the label→offset map —
+    the determinism analysis uses it to locate clause entry points in
+    the assembled block."""
     offsets: Dict[str, int] = {}
     stripped: List[tuple] = []
     for instr in code:
@@ -62,4 +85,7 @@ def assemble(code: List[tuple]) -> List[tuple]:
             out.append((op, table, resolve(instr[2])))
         else:
             out.append(instr)
-    return out
+    if _SELF_VERIFY:
+        from ..analysis.verifier import verify_code
+        verify_code(out, level="structural")
+    return out, offsets

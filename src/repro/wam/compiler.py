@@ -48,6 +48,21 @@ def is_builtin_indicator(name: str, arity: int) -> bool:
     return (name, arity) in _BUILTIN_INDICATORS
 
 
+# When true, every compiled clause is verified (structural + abstract,
+# :mod:`repro.analysis.verifier`) before it leaves the compiler.  The
+# test suite enables it via :func:`repro.analysis.enable_self_verify`.
+_SELF_VERIFY = False
+
+
+def set_self_verify(enabled: bool) -> None:
+    global _SELF_VERIFY
+    _SELF_VERIFY = bool(enabled)
+
+
+def self_verify_enabled() -> bool:
+    return _SELF_VERIFY
+
+
 @dataclass
 class CompiledClause:
     """One compiled clause plus the metadata indexing needs."""
@@ -189,7 +204,7 @@ class ClauseCompiler:
 
         first_kind, first_key = self._first_arg_index_key(head_args)
         name = head.name if isinstance(head, Struct) else head.name
-        return CompiledClause(
+        compiled = CompiledClause(
             code=code,
             head_name=name,
             arity=arity,
@@ -197,6 +212,11 @@ class ClauseCompiler:
             first_arg_key=first_key,
             nvars=len(perm_vars) + len(state.temp_index),
         )
+        if _SELF_VERIFY:
+            from ..analysis.verifier import verify_clause
+            verify_clause(compiled, dictionary=self.ctx.dictionary,
+                          procedure=f"{name}/{arity}")
+        return compiled
 
     # ------------------------------------------------- control preprocessing
 

@@ -22,13 +22,30 @@ type dispatch of ``switch_on_term`` is that feature.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import instructions as I
-from .assembler import assemble
+from .assembler import assemble, assemble_with_offsets
 from .compiler import CompiledClause
 
 _FAIL_LABEL = "$fail"
+
+
+@dataclass
+class ProcedureLayout:
+    """An assembled procedure block plus its structural map — where each
+    clause's code begins and where the shared failure sentinel sits.
+    The determinism analysis (:mod:`repro.analysis.determinism`) uses
+    the entry offsets to check switch-table coverage and reachability.
+    """
+
+    code: List[tuple]
+    #: per-clause entry offset (past the choice instruction, the target
+    #: indexed jumps use) in clause-source order
+    entries: List[int] = field(default_factory=list)
+    #: offset of the trailing ``fail`` sentinel, when one was emitted
+    fail_offset: Optional[int] = None
 
 
 def build_procedure_code(
@@ -36,11 +53,19 @@ def build_procedure_code(
 ) -> List[tuple]:
     """Combine compiled clauses into one code block with choice
     instructions and (optionally) first-argument indexing."""
+    return build_procedure_layout(clauses, index=index).code
+
+
+def build_procedure_layout(
+    clauses: Sequence[CompiledClause], index: bool = True
+) -> ProcedureLayout:
+    """As :func:`build_procedure_code`, keeping the layout map."""
     if not clauses:
-        return assemble([(I.FAIL_OP,)])
+        return ProcedureLayout(code=assemble([(I.FAIL_OP,)]))
 
     if len(clauses) == 1:
-        return assemble(list(clauses[0].code))
+        return ProcedureLayout(code=assemble(list(clauses[0].code)),
+                               entries=[0])
 
     out: List[tuple] = []
     entry_labels = [f"$clause_{i}" for i in range(len(clauses))]
@@ -73,7 +98,11 @@ def build_procedure_code(
 
     out.append((I.LABEL, _FAIL_LABEL))
     out.append((I.FAIL_OP,))
-    return assemble(out)
+    code, offsets = assemble_with_offsets(out)
+    return ProcedureLayout(
+        code=code,
+        entries=[offsets[label] for label in entry_labels],
+        fail_offset=offsets[_FAIL_LABEL])
 
 
 def _emit_switch(out: List[tuple], clauses: Sequence[CompiledClause],

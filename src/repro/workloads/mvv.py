@@ -169,6 +169,11 @@ def generate(seed: int = 11, scale: float = 1.0) -> MVVData:
 # =====================================================================
 
 RULES = r"""
+% lint: external schedule3/11 schedule2/5 location2/2
+% lint: disable=L104 route/4
+% (the schedule/location relations are EDB facts loaded by the harness;
+% route/4 is transitive closure over hops — var-headed by design)
+
 hm_minutes(H, M, T) :- T is H * 60 + M.
 
 on_line(S, L, D, Q) :- schedule3(L, D, Q, S, _, _, _, _, _, _, _).

@@ -3,7 +3,14 @@
 import pytest
 from hypothesis import strategies as st
 
+from repro.analysis import enable_self_verify
 from repro.terms import Atom, Struct, Var
+
+# Every compile and every assembly in the test suite runs under the
+# static verifier (docs/ANALYSIS.md): a clause the compiler emits that
+# fails verification is a bug in either the compiler or the verifier,
+# and the whole suite is the property harness that finds it.
+enable_self_verify()
 
 
 @pytest.fixture

@@ -1,0 +1,21 @@
+% Regression corpus: cut and negation shapes that once stressed the
+% verifier's environment-discipline and cut-barrier rules.
+% lint: disable=L104 classify/2 guard/2
+
+classify(N, neg) :- N < 0, !.
+classify(0, zero) :- !.
+classify(_, pos).
+
+guard(X, ok) :- \+ bad(X), !.
+guard(_, rejected).
+
+bad(13).
+bad(666).
+
+deep_cut(X, R) :-
+    ( X > 100 -> R = big
+    ; X > 10, !, R = medium
+    ; R = small
+    ).
+
+double_negative(X) :- \+ \+ bad(X).

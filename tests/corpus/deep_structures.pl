@@ -1,0 +1,17 @@
+% Regression corpus: deeply nested structures and long lists drive the
+% unify read/write-mode tracking and register allocation.
+
+tree(node(node(leaf(1), leaf(2)), node(leaf(3), node(leaf(4), leaf(5))))).
+
+mirror(leaf(X), leaf(X)).
+mirror(node(L, R), node(MR, ML)) :- mirror(L, ML), mirror(R, MR).
+
+sumtree(leaf(X), X).
+sumtree(node(L, R), S) :-
+    sumtree(L, SL), sumtree(R, SR), S is SL + SR.
+
+zip([], [], []).
+zip([X|Xs], [Y|Ys], [X-Y|Zs]) :- zip(Xs, Ys, Zs).
+
+build(0, leaf(0)) :- !.
+build(N, node(T, T)) :- M is N - 1, build(M, T).

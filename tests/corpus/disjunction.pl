@@ -1,0 +1,21 @@
+% Regression corpus: disjunctions compile to auxiliary procedures;
+% these shapes pin the aux-procedure entry/environment conventions.
+% lint: disable=L104 weekend/1
+
+weekend(sat).
+weekend(sun).
+
+kind(D, K) :-
+    ( weekend(D) -> K = rest ; K = work ).
+
+pick(X) :- ( X = 1 ; X = 2 ; X = 3 ; X > 10 ).
+
+nested(X, Y) :-
+    ( X = a, ( Y = 1 ; Y = 2 )
+    ; X = b, ( Y = 3 ; weekend(Y) )
+    ).
+
+shared_var(X, Y) :-
+    Y = f(X),
+    ( X = left ; X = right ),
+    Y = f(X).

@@ -1,0 +1,20 @@
+% Regression corpus: first-argument shapes that exercise every branch
+% of switch_on_term / switch_on_constant / switch_on_structure.
+
+dispatch(a, const_a).
+dispatch(b, const_b).
+dispatch(42, int_42).
+dispatch([], empty_list).
+dispatch([H|_], list(H)).
+dispatch(f(X), struct_f(X)).
+dispatch(g(X, Y), struct_g(X, Y)).
+
+% a var clause woven into every dispatch chain
+% lint: disable=L104 any/2
+any(X, var_clause(X)) :- atom(X).
+any(known, const).
+
+% single-key deterministic dispatch
+only(one, 1).
+only(two, 2).
+only(three, 3).

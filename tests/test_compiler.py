@@ -211,6 +211,7 @@ class TestAssembler:
             (I.PROCEED,),
             (I.LABEL, "L1"),
             (I.TRUST_ME,),
+            (I.PROCEED,),
         ])
         assert code[0] == (I.TRY_ME_ELSE, 2)
 

@@ -23,6 +23,11 @@ def glossary() -> str:
     return read_doc(os.path.join("docs", "OBSERVABILITY.md"))
 
 
+@pytest.fixture(scope="module")
+def analysis_glossary() -> str:
+    return read_doc(os.path.join("docs", "ANALYSIS.md"))
+
+
 def documented(glossary: str) -> set:
     """Every backtick-quoted token in the glossary."""
     return set(re.findall(r"`([^`\s]+)`", glossary))
@@ -99,8 +104,15 @@ class TestCounterGlossary:
         names = documented(glossary)
         for kind in ("ticket.admit", "ticket.done", "ticket.deadline",
                      "ticket.cancelled", "ticket.failed", "query.slow",
-                     "page.evict", "wal.poison", "store.recovery"):
+                     "page.evict", "wal.poison", "store.recovery",
+                     "verify.reject"):
             assert kind in names, kind
+
+    def test_loader_verify_telemetry_documented(self, glossary):
+        """The loader's verification counters and histogram family."""
+        names = documented(glossary)
+        for key in ("verify_checks", "verify_rejects", "verify_ms"):
+            assert key in names, key
 
     def test_histogram_families_documented(self, glossary):
         names = documented(glossary)
@@ -163,6 +175,46 @@ class TestCounterGlossary:
 
 
 # =====================================================================
+# Analysis rule glossary coverage
+# =====================================================================
+
+class TestAnalysisGlossary:
+    def test_verifier_rules_documented(self, analysis_glossary):
+        from repro.analysis import verifier
+        names = documented(analysis_glossary)
+        for rule in verifier.RULES:
+            assert rule in names, rule
+
+    def test_determinism_rules_documented(self, analysis_glossary):
+        from repro.analysis import determinism
+        names = documented(analysis_glossary)
+        for rule in determinism.RULES:
+            assert rule in names, rule
+
+    def test_lint_rules_documented(self, analysis_glossary):
+        from repro.analysis import lint
+        names = documented(analysis_glossary)
+        for rule in lint.RULES:
+            assert rule in names, rule
+
+    def test_no_phantom_rules(self, analysis_glossary):
+        """Every V/A/D/L id the glossary mentions exists in the code —
+        the doc cannot document rules that were renamed or removed."""
+        import re as _re
+        from repro.analysis import determinism, lint, verifier
+        known = (set(verifier.RULES) | set(determinism.RULES)
+                 | set(lint.RULES))
+        mentioned = set(_re.findall(r"`([VADL]\d{3})`", analysis_glossary))
+        assert mentioned <= known, sorted(mentioned - known)
+
+    def test_verify_levels_documented(self, analysis_glossary):
+        from repro.edb.loader import VERIFY_LEVELS
+        names = documented(analysis_glossary)
+        for level in VERIFY_LEVELS:
+            assert f'"{level}"' in names, level
+
+
+# =====================================================================
 # Doc links
 # =====================================================================
 
@@ -182,6 +234,8 @@ class TestDocLinks:
     @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md",
                                      "docs/OBSERVABILITY.md",
                                      "docs/CONCURRENCY.md",
+                                     "docs/ANALYSIS.md",
+                                     "docs/DURABILITY.md",
                                      "EXPERIMENTS.md"])
     def test_inline_code_paths_exist(self, doc):
         text = read_doc(doc)

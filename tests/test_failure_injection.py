@@ -46,6 +46,81 @@ class TestDiskCorruption:
             pager.get(pid)
 
 
+@pytest.mark.fault_injection
+class TestClauseBitflip:
+    """In-storage rot of a compiled clause blob, below the page CRC's
+    radar: the loader's static verifier must quarantine it before a
+    single corrupted instruction executes (docs/ANALYSIS.md)."""
+
+    def _session(self):
+        from repro.bang.faults import FaultInjector
+        from repro.engine.session import EduceStar
+        session = EduceStar()
+        session.store.faults = FaultInjector()
+        session.store_relation("parent", [("t", "a"), ("a", "i")])
+        session.store_program(
+            "% lint: external parent/2\n"
+            "anc(X, Y) :- parent(X, Y).\n"
+            "anc(X, Z) :- parent(X, Y), anc(Y, Z).")
+        return session
+
+    def test_bitflipped_clause_rejected_never_executed(self):
+        from repro.errors import VerifyError
+        session = self._session()
+        faults = session.store.faults
+        faults.arm_clause_bitflip(1)
+        with pytest.raises(VerifyError) as excinfo:
+            session.solve_once("anc(t, X)")
+        assert excinfo.value.rule == "V101"
+        assert faults.fired == ["clause_bitflip#1"]
+        assert session.loader.verify_rejects >= 1
+        # quarantined: the corrupt code was never cached, so a retry
+        # refetches clean bytes and the query now succeeds
+        assert session.solve_once("anc(t, X)") is not None
+
+    def test_reject_lands_in_flight_recorder(self):
+        from repro.errors import VerifyError
+        session = self._session()
+        session.store.events.enabled = True
+        session.store.faults.arm_clause_bitflip(2)
+        with pytest.raises(VerifyError):
+            session.solve_once("anc(t, X)")
+        rejects = [e for e in session.store.events.tail(50)
+                   if e["kind"] == "verify.reject"]
+        assert rejects and rejects[-1]["rule"] == "V101"
+        assert rejects[-1]["procedure"] == "anc/2"
+
+    def test_verify_off_lets_corruption_through_to_the_machine(self):
+        """The control experiment: with verification disabled (loader
+        *and* the suite-wide self-verify) the same rot reaches the
+        execution machinery and fails untyped — exactly the failure
+        mode the verifier choke point exists to prevent."""
+        from repro.analysis import enable_self_verify, self_verify_enabled
+        from repro.errors import VerifyError
+        from repro.bang.faults import FaultInjector
+        from repro.engine.session import EduceStar
+        session = EduceStar(verify="off")
+        session.store.faults = FaultInjector()
+        session.store_relation("parent", [("t", "a")])
+        session.store_program(
+            "% lint: external parent/2\nanc(X, Y) :- parent(X, Y).")
+        session.store.faults.arm_clause_bitflip(1)
+        was = self_verify_enabled()
+        enable_self_verify(False)
+        try:
+            with pytest.raises(Exception) as excinfo:
+                session.solve_once("anc(t, X)")
+        finally:
+            enable_self_verify(was)
+        assert not isinstance(excinfo.value, VerifyError)
+
+    def test_null_injector_refuses_arming(self):
+        from repro.engine.session import EduceStar
+        session = EduceStar()
+        with pytest.raises(ValueError):
+            session.store.faults.arm_clause_bitflip(1)
+
+
 class TestGridStress:
     def test_delete_reinsert_cycles_preserve_contents(self):
         import random

@@ -131,6 +131,48 @@ def test_edb_equals_main_memory(facts, pivot):
     assert got == want
 
 
+@settings(max_examples=40, deadline=None)
+@given(
+    heads=st.lists(st.tuples(head_args(), head_args()),
+                   min_size=1, max_size=8),
+    body_len=st.integers(0, 3),
+)
+def test_random_clauses_verify_clean(heads, body_len):
+    """Everything the compiler emits passes full static verification
+    (docs/ANALYSIS.md): every clause, and the assembled procedure block
+    with its switch tables.  The determinism analysis of the honest
+    block reports no findings either."""
+    from repro.analysis import analyze_clauses, check_clause, check_code
+    from repro.dictionary import SegmentedDictionary
+    from repro.wam.compiler import ClauseCompiler, CompileContext
+    from repro.wam.indexing import build_procedure_layout
+
+    ctx = CompileContext(SegmentedDictionary(segment_capacity=512))
+    compiler = ClauseCompiler(ctx)
+    compiled = []
+    for i, (a, b) in enumerate(heads):
+        head = Struct("p", (_reify(a), _reify(b), i))
+        if body_len:
+            # a chain body exercises environments and permanent vars
+            shared = Var()
+            goals = [Struct("q", (shared, _reify(a)))
+                     for _ in range(body_len)]
+            body = goals[0]
+            for goal in goals[1:]:
+                body = Struct(",", (body, goal))
+            clause = Struct(":-", (head, body))
+        else:
+            clause = head
+        compiled.append(compiler.compile_clause(clause))
+    for cc in compiled:
+        assert check_clause(cc, dictionary=ctx.dictionary) == []
+    layout = build_procedure_layout(compiled)
+    assert check_code(list(layout.code), arity=3,
+                      dictionary=ctx.dictionary) == []
+    report = analyze_clauses(compiled, layout=layout)
+    assert report.findings == []
+
+
 @settings(max_examples=25, deadline=None)
 @given(rows=st.lists(
     st.tuples(st.integers(0, 30), st.sampled_from(["x", "y", "z"])),
