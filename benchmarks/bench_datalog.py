@@ -1,0 +1,161 @@
+"""Recursive evaluation strategies: WAM top-down vs semi-naive bottom-up.
+
+The recursion workload family (`repro.workloads.graphs`,
+docs/DATALOG.md) at EDB scales where the strategy choice matters.
+For each graph size the same reachability program runs twice over the
+same stored EDB:
+
+* **top-down** — `EduceStar(datalog="off")`: the WAM solves
+  `reach(n0, X)` by SLD resolution through the dynamic loader, one
+  solution per proof path;
+* **bottom-up** — `EduceStar(datalog="force")`: the strategy planner
+  routes the goal to the semi-naive fixpoint; the magic-set rewrite
+  restricts derivation to what the bound argument can reach.
+
+Answers are pinned identical (as sets — the WAM derives one answer per
+proof, bottom-up has set semantics) at every size where the oracle
+runs; sizes above ``--oracle-limit`` run bottom-up only, so the
+fixpoint can be measured at EDB scales the WAM cannot finish in
+reasonable time.
+
+Run:  PYTHONPATH=src python benchmarks/bench_datalog.py
+      [--edges 10000,100000] [--graph tree|chain|dag] [--branching 4]
+      [--seed 7] [--oracle-limit 150000] [--exposition PATH] [--smoke]
+
+``--smoke`` is the CI entry point: one small size, oracle always on,
+non-zero exit when the answers diverge or the goal was not routed
+bottom-up.  Results at full scale are recorded as E13 in
+EXPERIMENTS.md.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "src"))
+
+from repro import EduceStar, measure                   # noqa: E402
+from repro.workloads import graphs                     # noqa: E402
+
+
+def build_edges(graph: str, edges: int, branching: int, seed: int):
+    if graph == "tree":
+        return graphs.k_ary_tree(edges, branching=branching)
+    if graph == "chain":
+        return graphs.chain(edges)
+    if graph == "dag":
+        return graphs.random_dag(max(2, edges // 3), edges, seed)
+    raise SystemExit(f"unknown graph family {graph!r}")
+
+
+def build_session(mode: str, edge_rows) -> EduceStar:
+    kb = EduceStar(datalog=mode)
+    kb.store_relation("edge", edge_rows)
+    kb.store_program(graphs.REACH_PROGRAM)
+    return kb
+
+
+def run_strategy(mode: str, edge_rows, goal: str):
+    """One strategy at one size: wall seconds, simulated ms, answers."""
+    kb = build_session(mode, edge_rows)
+    with measure(kb) as m:
+        answers = [str(sol["X"]) for sol in kb.solve(goal)]
+    return {
+        "session": kb,
+        "wall_s": m.wall_s,
+        "sim_ms": m.simulated_ms(),
+        "answers": answers,
+        "snapshot": kb.metrics.snapshot(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--edges", default="10000,100000",
+                        help="comma-separated EDB sizes (edge counts)")
+    parser.add_argument("--graph", default="tree",
+                        choices=("tree", "chain", "dag"))
+    parser.add_argument("--branching", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--oracle-limit", type=int, default=150_000,
+                        help="largest size at which the WAM oracle runs")
+    parser.add_argument("--exposition", metavar="PATH", default=None,
+                        help="write the bottom-up sessions' merged "
+                             "telemetry as Prometheus text format")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: one small size, oracle on")
+    args = parser.parse_args(argv)
+
+    sizes = [2_000] if args.smoke else \
+        [int(s) for s in args.edges.split(",")]
+    oracle_limit = max(sizes) if args.smoke else args.oracle_limit
+    goal = "reach(n0, X)"
+
+    first = build_session("auto", build_edges(args.graph, sizes[0],
+                                              args.branching, args.seed))
+    print(f"graph family: {args.graph}; goal: {goal}")
+    print("planner report at the smallest size:")
+    for line in first.datalog.explain(goal).splitlines():
+        print("   ", line)
+    print(f"\n{'edges':>9} {'answers':>8} {'BU wall s':>10} "
+          f"{'BU sim ms':>10} {'WAM wall s':>11} {'WAM sim ms':>11} "
+          f"{'speedup':>8}")
+
+    failures = 0
+    speedup_at_largest_oracled = None
+    snapshots = []
+    for size in sizes:
+        edge_rows = build_edges(args.graph, size, args.branching,
+                                args.seed)
+        bu = run_strategy("force", edge_rows, goal)
+        engine = bu["session"].datalog
+        if engine.bottomup != 1:
+            print(f"FAIL edges={size}: goal was not routed bottom-up "
+                  f"({engine.last_decision.reason})")
+            failures += 1
+        if len(bu["answers"]) != len(set(bu["answers"])):
+            print(f"FAIL edges={size}: bottom-up produced duplicates")
+            failures += 1
+        snapshots.append(bu["snapshot"])
+
+        if size <= oracle_limit:
+            wam = run_strategy("off", edge_rows, goal)
+            if set(wam["answers"]) != set(bu["answers"]):
+                print(f"FAIL edges={size}: answer sets diverge "
+                      f"(WAM {len(set(wam['answers']))}, "
+                      f"bottom-up {len(set(bu['answers']))})")
+                failures += 1
+            speedup = wam["wall_s"] / bu["wall_s"]
+            speedup_at_largest_oracled = speedup
+            print(f"{size:>9} {len(set(bu['answers'])):>8} "
+                  f"{bu['wall_s']:>10.2f} {bu['sim_ms']:>10.0f} "
+                  f"{wam['wall_s']:>11.2f} {wam['sim_ms']:>11.0f} "
+                  f"{speedup:>7.1f}x")
+        else:
+            print(f"{size:>9} {len(set(bu['answers'])):>8} "
+                  f"{bu['wall_s']:>10.2f} {bu['sim_ms']:>10.0f} "
+                  f"{'(skipped)':>11} {'-':>11} {'-':>8}")
+
+    if args.exposition:
+        from repro.obs import MetricsRegistry, render_prometheus
+        text = render_prometheus(MetricsRegistry.merge(*snapshots))
+        assert "educe_datalog_bottomup" in text
+        assert "educe_datalog_fixpoint_iterations" in text
+        with open(args.exposition, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"\nmerged Prometheus exposition "
+              f"({len(text.splitlines())} lines) -> {args.exposition}")
+
+    if speedup_at_largest_oracled is not None:
+        verdict = "PASS" if (failures == 0
+                             and speedup_at_largest_oracled > 1.0) \
+            else "FAIL"
+        print(f"\nbottom-up vs WAM at the largest oracled size: "
+              f"{speedup_at_largest_oracled:.1f}x "
+              f"(acceptance: > 1x, answers identical) {verdict}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,11 @@ A minimal shell over an :class:`~repro.EduceStar` session:
                   recovery, ... (docs/OBSERVABILITY.md)
   ``:export F``   append the last traced query's profile to F
                   as JSON lines (see docs/OBSERVABILITY.md)
+  ``:plan G``     explain how goal G would be evaluated without
+                  running it: top-down (WAM) or bottom-up
+                  (semi-naive Datalog), the planner's reason, the
+                  strata, and the magic-set adornment for the bound
+                  arguments (docs/DATALOG.md)
   ``:verify P``   static analysis of predicate P (``name/arity``):
                   structural + abstract verification of its compiled
                   code, first-argument partitions, dead clauses
@@ -237,6 +242,8 @@ def command(session, line: str, interactive: bool):
         else:
             TRACE["on"] = (arg == "on") if arg else not TRACE["on"]
             print(f"tracing {'on' if TRACE['on'] else 'off'}")
+    elif cmd == ":plan" and arg:
+        print(session.datalog.explain(arg.rstrip(".")))
     elif cmd == ":verify" and arg:
         from repro.analysis import describe_procedure
         name, slash, arity_text = arg.rpartition("/")

@@ -39,12 +39,18 @@ def repo_root() -> str:
 
 def corpus_entries() -> List[CorpusEntry]:
     from ..wam.prelude import PRELUDE_SOURCE
-    from ..workloads import integrity, mvv
+    from ..workloads import graphs, integrity, mvv
     entries = [
         CorpusEntry("wam/prelude.py", PRELUDE_SOURCE),
         CorpusEntry("workloads/mvv.py", mvv.RULES),
         CorpusEntry("workloads/integrity.py",
                     integrity.PROGRAM + "\n" + integrity.CHECKER),
+        CorpusEntry("workloads/graphs.py:REACH_PROGRAM",
+                    graphs.REACH_PROGRAM),
+        CorpusEntry("workloads/graphs.py:SAME_GEN_PROGRAM",
+                    graphs.SAME_GEN_PROGRAM),
+        CorpusEntry("workloads/graphs.py:UNREACHABLE_PROGRAM",
+                    graphs.UNREACHABLE_PROGRAM),
     ]
     entries.extend(_example_entries())
     return entries

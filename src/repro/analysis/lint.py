@@ -41,6 +41,10 @@ RULES: Dict[str, str] = {
     "L104": "unindexable first argument: a multi-clause predicate "
             "first-argument indexing cannot discriminate (all clause "
             "heads start with a variable, or arity 0)",
+    "L105": "bottom-up blocked: a recursive predicate is Datalog-shaped "
+            "but the set-at-a-time engine cannot evaluate it "
+            "(unstratified negation in its cycle, or a rule that is "
+            "not range-restricted)",
 }
 
 _PRAGMA_RE = re.compile(
@@ -85,6 +89,7 @@ def lint_text(text: str, name: str = "",
     defined: Set[Tuple[str, int]] = set(extra_defined) | externals
     heads: List[Tuple[str, int]] = []  # clause heads, in source order
     first_arg_kinds: Dict[Tuple[str, int], List[str]] = {}
+    clause_terms: Dict[Tuple[str, int], List[Term]] = {}
     calls: List[Tuple[Tuple[str, int], Tuple[str, int]]] = []
     findings: List[LintFinding] = []
 
@@ -100,6 +105,7 @@ def lint_text(text: str, name: str = "",
         heads.append(ind)
         defined.add(ind)
         first_arg_kinds.setdefault(ind, []).append(_first_arg_kind(head))
+        clause_terms.setdefault(ind, []).append(clause)
         for singleton in _singletons(clause):
             findings.append(LintFinding(
                 "L101", _fmt(ind),
@@ -152,7 +158,77 @@ def lint_text(text: str, name: str = "",
                 f"every clause of {_fmt(ind)} starts with a variable; "
                 "first-argument indexing cannot discriminate"))
 
+    # L105 — recursive, Datalog-shaped, yet blocked from bottom-up
+    findings.extend(_datalog_blocked(clause_terms))
+
     return [f for f in findings if not _waived(f, disabled)]
+
+
+def _datalog_blocked(clause_terms: Dict[Tuple[str, int], List[Term]]
+                     ) -> List[LintFinding]:
+    """L105: recursive predicates whose clauses all extract into the
+    Datalog fragment (docs/DATALOG.md) but that the set-at-a-time
+    engine would still refuse — either a rule is not range-restricted,
+    or the recursive cycle passes through a negation (unstratified).
+    Non-Datalog-shaped predicates are not flagged: falling back to the
+    WAM is their normal, intended execution."""
+    from ..relational.datalog.rules import (
+        NotDatalog, range_restriction_violation, rule_from_clause,
+        stratify)
+
+    extracted = {}
+    for ind, terms in clause_terms.items():
+        try:
+            extracted[ind] = [rule_from_clause(t) for t in terms]
+        except NotDatalog:
+            continue
+    if not extracted:
+        return []
+    _strata, recursive, _error = stratify(extracted)
+
+    graph = {ind: {lit.pred for rule in rules for lit in rule.body
+                   if lit.pred in extracted}
+             for ind, rules in extracted.items()}
+
+    def reaches(src: Tuple[str, int], dst: Tuple[str, int]) -> bool:
+        seen: Set[Tuple[str, int]] = set()
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph[node])
+        return False
+
+    findings: List[LintFinding] = []
+    for ind in sorted(extracted):
+        if ind not in recursive:
+            continue
+        violation = next(
+            (v for v in (range_restriction_violation(r)
+                         for r in extracted[ind]) if v), None)
+        if violation:
+            findings.append(LintFinding(
+                "L105", _fmt(ind),
+                f"recursive predicate {_fmt(ind)} is Datalog-shaped but "
+                f"blocked from bottom-up evaluation: {violation}"))
+            continue
+        for rule in extracted[ind]:
+            negated = next(
+                (lit for lit in rule.body if lit.negated
+                 and lit.pred in graph and reaches(lit.pred, ind)), None)
+            if negated is not None:
+                findings.append(LintFinding(
+                    "L105", _fmt(ind),
+                    f"recursive predicate {_fmt(ind)} is Datalog-shaped "
+                    "but blocked from bottom-up evaluation: its cycle "
+                    f"passes through the negation of "
+                    f"{_fmt(negated.pred)} (unstratified)"))
+                break
+    return findings
 
 
 # =====================================================================

@@ -66,6 +66,7 @@ from ..locks import ReadWriteLock
 from ..obs.events import EventRing
 from ..obs.registry import Histogram, merge_histogram_maps
 from ..obs.tracing import NULL_TRACER
+from ..relational.datalog.rules import DatalogRulebase
 from ..terms import Atom, Struct, Term, Var, deref
 from ..wam.compiler import ClauseCompiler, CompileContext, split_clause
 from .codec import encode_code, measure_code
@@ -225,6 +226,13 @@ class ExternalStore:
         self.events = EventRing()
         self.pager.events = self.events
 
+        # --- datalog rulebase (docs/DATALOG.md) --------------------------
+        #: surface clauses of rules procedures, kept for the bottom-up
+        #: evaluator.  Live-session state (mutated under the write lock,
+        #: excluded from checkpoints): a reopened store starts empty and
+        #: recursive queries fall back to the WAM until re-stored.
+        self.datalog_rules = DatalogRulebase()
+
     # The WAL handle, fault plan and recovery report belong to the live
     # session, not the persisted image.
     def __getstate__(self) -> dict:
@@ -242,6 +250,9 @@ class ExternalStore:
         # captures the full in-memory image), so the poison flag never
         # travels into the image.
         state["_poisoned"] = None
+        # Surface clauses are session state: the checkpoint persists
+        # compiled code only (docs/DATALOG.md, "recovered stores").
+        state["datalog_rules"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -255,6 +266,8 @@ class ExternalStore:
         if getattr(self, "events", None) is None:
             self.events = EventRing()
         self.pager.events = self.events
+        if getattr(self, "datalog_rules", None) is None:
+            self.datalog_rules = DatalogRulebase()
         # Durability counters are session-scoped, like tracer spans: a
         # freshly loaded store reports work *it* did, not history baked
         # into the checkpoint it came from.
@@ -355,6 +368,7 @@ class ExternalStore:
                     "has_body": bool(body),
                 })
             proc = self._apply_rules(name, arity, payloads)
+            self.datalog_rules.set((name, arity), clauses)
             self._log({"op": "rules", "name": name, "arity": arity,
                        "clauses": payloads,
                        "ext": self._ext_functors(
@@ -559,6 +573,7 @@ class ExternalStore:
                 "has_body": bool(body),
             }
             self._apply_assert_rule(name, arity, payload)
+            self.datalog_rules.add((name, arity), clause)
             self._log({"op": "assert_rule", "name": name, "arity": arity,
                        "clause": payload,
                        "ext": self._ext_functors([payload["code"]])})
@@ -589,6 +604,10 @@ class ExternalStore:
     def retract_clause(self, name: str, arity: int, clause_id: int) -> None:
         with self.writing():
             self._check_writable()
+            # Retraction is clause_id-based; rather than mirror the id
+            # bookkeeping, stop tracking the procedure — it simply goes
+            # back to the WAM path.
+            self.datalog_rules.drop((name, arity))
             self._apply_retract(name, arity, clause_id)
             self._log({"op": "retract", "name": name, "arity": arity,
                        "clause_id": clause_id})
@@ -628,6 +647,7 @@ class ExternalStore:
         proc = self._procs.pop((name, arity), None)
         if proc is None:
             return False
+        self.datalog_rules.drop((name, arity))
         self.catalog.drop(proc.relation.schema.name)
         self.procs_relation.delete_where({0: name, 1: arity})
         if proc.mode != "facts":

@@ -48,7 +48,9 @@ class EduceStar:
                  gc_enabled: bool = True,
                  gc_threshold: int = 200_000,
                  dictionary_segment: int = 32000,
-                 cost_model: Optional[CostModel] = None):
+                 cost_model: Optional[CostModel] = None,
+                 datalog: str = "auto",
+                 datalog_min_rows: Optional[int] = None):
         from ..dictionary import SegmentedDictionary
         dictionary = SegmentedDictionary(segment_capacity=dictionary_segment)
         self.machine = Machine(dictionary=dictionary, index=index,
@@ -90,6 +92,17 @@ class EduceStar:
         from .relops import RelationalOps, install_relop_builtins
         self.relops = RelationalOps(self)
         install_relop_builtins(self.machine, self.relops)
+
+        # Recursive set-at-a-time evaluation (ROADMAP item 4,
+        # docs/DATALOG.md): solve() consults the strategy planner and
+        # routes evaluable recursive goals through the semi-naive
+        # bottom-up engine instead of the WAM.
+        from ..relational.datalog import DEFAULT_MIN_ROWS, DatalogEngine
+        self.datalog = DatalogEngine(
+            self.store, self.machine.reader, tracer=self.tracer,
+            mode=datalog,
+            min_rows=(DEFAULT_MIN_ROWS if datalog_min_rows is None
+                      else datalog_min_rows))
 
     # ------------------------------------------------------------ population
 
@@ -176,8 +189,18 @@ class EduceStar:
         if isinstance(goal, str):
             self.parsed_chars += len(goal)
         if not profile:
-            return self.machine.solve(goal, limit=limit)
+            return self._solve_routed(goal, limit)
         return self._solve_profiled(goal, limit)
+
+    def _solve_routed(self, goal,
+                      limit: Optional[int]) -> Iterator[Solution]:
+        """The dual-strategy dispatch of §4: the Datalog engine answers
+        evaluable recursive goals bottom-up; everything else (and every
+        goal it declines) runs on the WAM."""
+        routed = self.datalog.route(goal, limit=limit)
+        if routed is not None:
+            return iter(routed)
+        return self.machine.solve(goal, limit=limit)
 
     def _solve_profiled(self, goal,
                         limit: Optional[int]) -> Iterator[Solution]:
@@ -187,7 +210,7 @@ class EduceStar:
         start = time.perf_counter()
         solutions = 0
         try:
-            for solution in self.machine.solve(goal, limit=limit):
+            for solution in self._solve_routed(goal, limit):
                 solutions += 1
                 yield solution
         finally:
@@ -277,6 +300,7 @@ class EduceStar:
     def counters(self) -> dict:
         merged = dict(self.machine.counters())
         merged.update(self.loader.counters())
+        merged.update(self.datalog.counters())
         merged["parsed_chars"] = self.parsed_chars
         return merged
 
@@ -290,7 +314,8 @@ class EduceStar:
         Same-named histograms (the two latches) merge bucket-wise."""
         from ..obs.registry import merge_histogram_maps
         return merge_histogram_maps(self.store.histograms(),
-                                    self.loader.histograms())
+                                    self.loader.histograms(),
+                                    self.datalog.histograms())
 
     def reset_counters(self) -> None:
         self.machine.reset_counters()

@@ -9,12 +9,15 @@ and the goal-oriented half of the dual evaluation strategy of §4.
 
 from .algebra import (
     Aggregate,
+    CrossJoin,
     Filter,
     HashJoin,
     IndexJoin,
+    LookupJoin,
     Plan,
     Project,
     RangeSelect,
+    Rows,
     Scan,
     Select,
     execute,
@@ -28,8 +31,11 @@ __all__ = [
     "RangeSelect",
     "Filter",
     "Project",
+    "Rows",
     "HashJoin",
     "IndexJoin",
+    "LookupJoin",
+    "CrossJoin",
     "Aggregate",
     "execute",
     "best_access_path",

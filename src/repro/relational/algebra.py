@@ -172,6 +172,75 @@ class IndexJoin(Plan):
         return self._count(gen())
 
 
+class Rows(Plan):
+    """In-memory leaf: a materialised tuple list used as a plan input.
+
+    The semi-naive evaluator feeds delta relations (plain Python lists
+    rebuilt every iteration) into join trees through this node; it is
+    also handy in tests.  ``name`` shows up in :func:`describe`.
+    """
+
+    def __init__(self, data: Sequence[tuple], name: str = "rows"):
+        super().__init__()
+        self.data = data
+        self.name = name
+
+    def rows(self) -> Iterator[tuple]:
+        return self._count(iter(self.data))
+
+
+class LookupJoin(Plan):
+    """Equi-join probing a *prebuilt* hash index per outer row.
+
+    Unlike :class:`HashJoin`, which rebuilds its table on every
+    execution, the index here is built once by the caller and shared
+    across executions — the fixpoint evaluator indexes each EDB and
+    total-IDB relation once per fixpoint and probes it every iteration,
+    turning an O(edges × iterations) rebuild into O(edges).
+
+    Output rows are ``outer_row + match`` for each tuple in
+    ``index[outer_row[outer_attr]]``.
+    """
+
+    def __init__(self, outer: Plan, index: Dict[Any, List[tuple]],
+                 outer_attr: int, name: str = "index"):
+        super().__init__()
+        self.outer = outer
+        self.index = index
+        self.outer_attr = outer_attr
+        self.name = name
+
+    def rows(self) -> Iterator[tuple]:
+        def gen():
+            index = self.index
+            attr = self.outer_attr
+            for row in self.outer.rows():
+                for match in index.get(row[attr], ()):
+                    yield row + match
+        return self._count(gen())
+
+
+class CrossJoin(Plan):
+    """Cartesian product (for rare rules whose literals share no
+    variables).  The right input is materialised once.
+
+    Output rows are ``left_row + right_row``.
+    """
+
+    def __init__(self, left: Plan, right: Plan):
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def rows(self) -> Iterator[tuple]:
+        def gen():
+            right_rows = list(self.right.rows())
+            for row in self.left.rows():
+                for other in right_rows:
+                    yield row + other
+        return self._count(gen())
+
+
 class Aggregate(Plan):
     """Scalar aggregation: count / sum / min / max / avg of a column."""
 
@@ -230,6 +299,8 @@ def describe(plan: Plan) -> str:
         parts.append(getattr(inner, "name", "relation"))
     elif isinstance(plan, (Scan, Select, RangeSelect)):
         parts.append(getattr(plan.relation, "name", "relation"))
+    elif isinstance(plan, (Rows, LookupJoin)):
+        parts.append(plan.name)
     return label + (f"({', '.join(parts)})" if parts else "")
 
 

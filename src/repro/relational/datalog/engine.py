@@ -1,0 +1,320 @@
+"""The Datalog engine: routing, evaluation, telemetry.
+
+:class:`DatalogEngine` sits between the session's :meth:`solve` entry
+point and the WAM.  For each goal it decides — via the program analysis
+of :mod:`.rules` and the cost heuristics of :mod:`.strategy` — whether
+the goal should be answered bottom-up; if so it (optionally) applies the
+magic-set rewrite of :mod:`.magic`, runs the semi-naive fixpoint of
+:mod:`.seminaive` under the store's shared read lock, and converts the
+answer tuples back into WAM-compatible :class:`Solution` objects.
+
+Every decision and evaluation is visible in the session's telemetry:
+
+* ``datalog_*`` counters (queries, per-strategy routing, iterations,
+  derived facts, magic rewrites/fallbacks/facts, analysis passes);
+* the ``datalog_fixpoint_iterations`` histogram (per-evaluation
+  semi-naive pass counts);
+* a ``datalog.evaluate`` span when tracing is on, carrying the chosen
+  strategy, adornment, iteration count and answer cardinality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...obs.registry import Histogram
+from ...obs.tracing import NULL_TRACER
+from ...terms import Atom, Struct, Term, Var, deref
+from ...wam.machine import Solution
+from .magic import rewrite
+from .rules import (Analysis, Indicator, analyze, const_to_term,
+                    indicator_str, term_to_const)
+from .seminaive import FixpointStats, SemiNaiveEvaluator
+from .strategy import DEFAULT_MIN_ROWS, Decision, choose
+
+__all__ = ["DatalogEngine"]
+
+#: fixpoint pass counts bucketed in powers of two
+_ITER_BOUNDARIES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+_CONTROL = {(",", 2), (";", 2), ("->", 2), ("\\+", 1), ("not", 1),
+            ("call", 1), ("findall", 3), ("bagof", 3), ("setof", 3)}
+
+
+class DatalogEngine:
+    """Bottom-up evaluation subsystem of one session."""
+
+    def __init__(self, store, reader, tracer=None, mode: str = "auto",
+                 min_rows: int = DEFAULT_MIN_ROWS, magic: bool = True):
+        if mode not in ("auto", "force", "off"):
+            raise ValueError(f"datalog mode {mode!r} "
+                             "(expected auto/force/off)")
+        self.store = store
+        self.reader = reader
+        self.tracer = tracer or NULL_TRACER
+        self.mode = mode
+        self.min_rows = min_rows
+        self.magic = magic
+
+        self._analysis: Optional[Analysis] = None
+        self._analysis_key: Optional[Tuple[int, int]] = None
+        self.last_decision: Optional[Decision] = None
+
+        self.queries = 0
+        self.bottomup = 0
+        self.topdown = 0
+        self.iterations = 0
+        self.facts_derived = 0
+        self.edb_rows = 0
+        self.magic_rewrites = 0
+        self.magic_fallbacks = 0
+        self.magic_facts = 0
+        self.extractions = 0
+        self._fixpoint_hist = Histogram(boundaries=_ITER_BOUNDARIES)
+
+    # ------------------------------------------------------------- analysis
+
+    def analysis(self) -> Analysis:
+        """The current program analysis, re-extracted only when the
+        rulebase or the store changed (epoch-keyed cache)."""
+        key = (self.store.datalog_rules.epoch, self.store.mutation_epoch)
+        if self._analysis is None or self._analysis_key != key:
+            with self.store.reading():
+                clause_map = self.store.datalog_rules.clauses()
+                self._analysis = analyze(clause_map, self._is_edb)
+            self._analysis_key = key
+            self.extractions += 1
+        return self._analysis
+
+    def _is_edb(self, ind: Indicator) -> bool:
+        proc = self.store.lookup(*ind)
+        return proc is not None and proc.mode == "facts"
+
+    # -------------------------------------------------------------- routing
+
+    def route(self, goal, limit: Optional[int] = None
+              ) -> Optional[List[Solution]]:
+        """Answer *goal* bottom-up, or return None to send it to the
+        WAM.  Mirrors :meth:`Machine.solve`'s binding conventions so the
+        two paths are interchangeable."""
+        if self.mode == "off" or not len(self.store.datalog_rules):
+            return None
+        spec = self._goal_spec(goal)
+        if spec is None:
+            return None
+        ind, items, varmap = spec
+        if ind not in self.store.datalog_rules:
+            return None
+
+        analysis = self.analysis()
+        decision = choose(analysis, ind, self.store, self.mode,
+                          self.min_rows)
+        self.queries += 1
+        self.last_decision = decision
+        if decision.strategy != "bottomup":
+            self.topdown += 1
+            return None
+        self.bottomup += 1
+        answers = self._solve_bottom_up(ind, items, analysis, decision)
+        return self._bind(answers, items, varmap, limit)
+
+    def _goal_spec(self, goal):
+        """(indicator, arg items, varmap) of a routable goal, or None.
+
+        Items are ``("var", name)`` / ``("const", value)`` per argument;
+        the varmap follows the machine's conventions (parser varmap for
+        text goals, non-underscore surface variables for term goals).
+        """
+        if isinstance(goal, str):
+            try:
+                goal_term, varmap = self.reader.read_term_with_vars(goal)
+            except Exception:
+                return None
+        else:
+            from ...terms import term_variables
+            goal_term = goal
+            varmap = {v.name: v for v in term_variables(goal_term)
+                      if not v.name.startswith("_")}
+
+        goal_term = deref(goal_term)
+        if isinstance(goal_term, Atom):
+            return ((goal_term.name, 0), [], varmap)
+        if not isinstance(goal_term, Struct) \
+                or goal_term.indicator in _CONTROL:
+            return None
+        items: List[tuple] = []
+        for arg in goal_term.args:
+            arg = deref(arg)
+            if isinstance(arg, Var):
+                items.append(("var", arg.name))
+                continue
+            value = term_to_const(arg)
+            if value is None:
+                return None        # compound argument: WAM territory
+            items.append(("const", value))
+        return (goal_term.indicator, items, varmap)
+
+    # ----------------------------------------------------------- evaluation
+
+    def _solve_bottom_up(self, ind: Indicator, items: List[tuple],
+                         analysis: Analysis,
+                         decision: Decision) -> Set[tuple]:
+        deps = analysis.dependencies(ind)
+        rules = {d: analysis.rules[d] for d in deps if d in analysis.rules}
+        strata = {d: analysis.strata[d] for d in rules}
+        bound = {pos for pos, (kind, _v) in enumerate(items)
+                 if kind == "const"}
+        consts = tuple((pos, value) for pos, (kind, value)
+                       in enumerate(items) if kind == "const")
+
+        program = None
+        if self.magic and bound:
+            program = rewrite(rules, ind, bound, consts)
+            if program is not None:
+                self.magic_rewrites += 1
+                decision.magic = True
+                decision.adornment = program.adornment
+            else:
+                self.magic_fallbacks += 1
+
+        with self.store.reading():
+            with self.tracer.span(
+                    "datalog.evaluate", goal=indicator_str(ind),
+                    strategy=decision.strategy,
+                    magic=decision.magic) as span:
+                if program is not None:
+                    evaluator = SemiNaiveEvaluator(
+                        self.store, program.rules, program.strata,
+                        self.tracer)
+                    totals = evaluator.run()
+                    answers = totals.get(program.query_pred, set())
+                    self.magic_facts += sum(
+                        len(totals.get(m, ()))
+                        for m in program.magic_preds)
+                else:
+                    evaluator = SemiNaiveEvaluator(
+                        self.store, rules, strata, self.tracer)
+                    totals = evaluator.run()
+                    answers = totals.get(ind, set())
+                self._account(evaluator.stats)
+                if span is not None:
+                    span.attrs.update(
+                        iterations=evaluator.stats.iterations,
+                        strata=evaluator.stats.strata,
+                        facts=evaluator.stats.facts,
+                        answers=len(answers),
+                        adornment=decision.adornment or "")
+        return answers
+
+    def _account(self, stats: FixpointStats) -> None:
+        self.iterations += stats.iterations
+        self.facts_derived += stats.facts
+        self.edb_rows += stats.edb_rows
+        self._fixpoint_hist.observe(stats.iterations)
+
+    def _bind(self, answers: Set[tuple], items: List[tuple], varmap,
+              limit: Optional[int]) -> List[Solution]:
+        """Answer tuples → Solutions: filter by the goal's constants and
+        repeated variables, deterministic order, machine-style bindings."""
+        first_pos: Dict[str, int] = {}
+        checks: List[tuple] = []
+        for pos, (kind, value) in enumerate(items):
+            if kind == "const":
+                checks.append(("const", pos, value))
+            elif value in first_pos:
+                checks.append(("eq", first_pos[value], pos))
+            else:
+                first_pos[value] = pos
+
+        rows = []
+        for row in answers:
+            ok = True
+            for kind, a, b in checks:
+                if kind == "const":
+                    if row[a] != b:
+                        ok = False
+                        break
+                elif row[a] != row[b]:
+                    ok = False
+                    break
+            if ok:
+                rows.append(row)
+        rows.sort(key=lambda row: tuple(
+            (type(v).__name__, v) for v in row))
+        if limit is not None:
+            rows = rows[:limit]
+
+        solutions = []
+        for row in rows:
+            bindings = {name: const_to_term(row[pos])
+                        for name, pos in first_pos.items()
+                        if name in varmap}
+            solutions.append(Solution(bindings))
+        return solutions
+
+    # -------------------------------------------------------------- explain
+
+    def explain(self, goal) -> str:
+        """Human-readable strategy report for ``:plan <goal>`` — the
+        decision, evaluable strata, and the magic adornment (nothing is
+        evaluated)."""
+        spec = self._goal_spec(goal)
+        if spec is None:
+            return ("not routable: goal is not a single positive literal "
+                    "with atomic arguments")
+        ind, items, _varmap = spec
+        if ind not in self.store.datalog_rules:
+            return (f"{indicator_str(ind)}: topdown (not a stored rules "
+                    "procedure)")
+        analysis = self.analysis()
+        decision = choose(analysis, ind, self.store, self.mode,
+                          self.min_rows)
+        lines = [f"strategy: {decision.strategy}",
+                 f"reason:   {decision.reason}"]
+        if decision.evaluable:
+            lines.append(f"base:     {decision.base_rows} EDB rows in "
+                         f"{sorted(indicator_str(d) for d in analysis.dependencies(ind) & analysis.edb)}")
+            for level, members in enumerate(decision.strata):
+                marks = ", ".join(
+                    indicator_str(m)
+                    + (" (recursive)" if m in analysis.recursive else "")
+                    for m in members)
+                lines.append(f"stratum {level}: {marks}")
+            bound = {pos for pos, (kind, _v) in enumerate(items)
+                     if kind == "const"}
+            if bound and self.magic:
+                consts = tuple((pos, v) for pos, (kind, v)
+                               in enumerate(items) if kind == "const")
+                deps = analysis.dependencies(ind)
+                rules = {d: analysis.rules[d] for d in deps
+                         if d in analysis.rules}
+                program = rewrite(rules, ind, bound, consts)
+                if program is not None:
+                    lines.append(f"adornment: {program.adornment} "
+                                 f"({len(program.magic_preds)} magic "
+                                 "predicates)")
+                else:
+                    lines.append("adornment: magic rewrite abandoned "
+                                 "(rewritten program unstratifiable)")
+            elif not bound:
+                lines.append("adornment: none (no bound arguments)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------ telemetry
+
+    def counters(self) -> dict:
+        return {
+            "datalog_queries": self.queries,
+            "datalog_bottomup": self.bottomup,
+            "datalog_topdown": self.topdown,
+            "datalog_iterations": self.iterations,
+            "datalog_facts_derived": self.facts_derived,
+            "datalog_edb_rows": self.edb_rows,
+            "datalog_magic_rewrites": self.magic_rewrites,
+            "datalog_magic_fallbacks": self.magic_fallbacks,
+            "datalog_magic_facts": self.magic_facts,
+            "datalog_extractions": self.extractions,
+        }
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {"datalog_fixpoint_iterations": self._fixpoint_hist}

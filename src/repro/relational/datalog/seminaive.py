@@ -1,0 +1,337 @@
+"""Semi-naive bottom-up fixpoint evaluation (ROADMAP item 4).
+
+The evaluator runs one stratum at a time (bottom stratum first).  Inside
+a stratum the classic semi-naive discipline applies: after the seed pass
+(all rules against the current totals, which start empty), each
+iteration re-evaluates only the *recursive* rules, once per occurrence
+of a current-stratum predicate in the body, with that occurrence fed
+from the previous iteration's **delta** and every other occurrence from
+the accumulated **total**.  Derived tuples are deduplicated against the
+total, so the fixpoint terminates exactly when an iteration derives
+nothing new.
+
+Rule bodies are compiled to trees of the existing
+:mod:`repro.relational.algebra` operators:
+
+* EDB literals are fetched once per evaluation through
+  :func:`repro.relational.planner.best_access_path` (constant arguments
+  become grid partial-match assignments) and cached;
+* joins are :class:`~repro.relational.algebra.LookupJoin` probes against
+  hash indexes that are **built once and reused across iterations** for
+  anything fixed during the fixpoint (EDB relations, lower-stratum
+  totals) — only delta/total indexes of the current stratum are rebuilt;
+* the plan is seeded from the delta occurrence, so per-iteration work is
+  proportional to the delta, not the whole EDB;
+* constants, repeated variables and cross-literal equalities become
+  :class:`~repro.relational.algebra.Filter` predicates, and negated
+  literals (always EDB or lower-stratum, by stratification) become
+  membership filters against a fixed extent set.
+
+The caller is expected to hold the store's shared read lock for the
+whole evaluation (see :class:`~repro.relational.datalog.engine.DatalogEngine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..algebra import CrossJoin, Filter, LookupJoin, Plan, Rows, execute
+from ..planner import best_access_path
+from .rules import Indicator, Literal, Rule, V
+
+__all__ = ["SemiNaiveEvaluator", "FixpointStats"]
+
+ConstItems = Tuple[Tuple[int, Any], ...]
+
+
+@dataclass
+class FixpointStats:
+    """What one bottom-up evaluation did."""
+
+    #: semi-naive passes across all strata (incl. each stratum's seed
+    #: pass and the final empty pass that proves the fixpoint)
+    iterations: int = 0
+    #: strata evaluated
+    strata: int = 0
+    #: IDB tuples derived (deduplicated; includes magic predicates)
+    facts: int = 0
+    #: EDB tuples fetched into the evaluation's row cache
+    edb_rows: int = 0
+    #: per-stratum iteration counts, bottom stratum first
+    per_stratum: List[int] = field(default_factory=list)
+
+
+class SemiNaiveEvaluator:
+    """Evaluate an extracted (possibly magic-rewritten) rule program."""
+
+    def __init__(self, store, rules: Dict[Indicator, List[Rule]],
+                 strata: Dict[Indicator, int], tracer=None):
+        self.store = store
+        self.rules = rules
+        self.strata = strata
+        self.tracer = tracer
+        self.totals: Dict[Indicator, Set[tuple]] = {
+            ind: set() for ind in rules}
+        self.stats = FixpointStats()
+        # Fixed-for-the-fixpoint caches (EDB rows/indexes; lower-stratum
+        # totals never change once their stratum completed).
+        self._edb_rows_cache: Dict[Tuple[Indicator, ConstItems],
+                                   List[tuple]] = {}
+        self._edb_index_cache: Dict[Tuple[Indicator, int, ConstItems],
+                                    Dict[Any, List[tuple]]] = {}
+        self._idb_index_cache: Dict[Tuple[Indicator, int],
+                                    Dict[Any, List[tuple]]] = {}
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> Dict[Indicator, Set[tuple]]:
+        by_level: Dict[int, List[Indicator]] = {}
+        for ind, level in self.strata.items():
+            by_level.setdefault(level, []).append(ind)
+        for level in sorted(by_level):
+            self._eval_stratum(sorted(by_level[level]))
+        self.stats.strata = len(by_level)
+        return self.totals
+
+    def _eval_stratum(self, members: Sequence[Indicator]) -> None:
+        scc = set(members)
+        all_rules = [(ind, rule) for ind in members
+                     for rule in self.rules[ind]]
+        recursive = []
+        for ind, rule in all_rules:
+            positions = [i for i, lit in enumerate(rule.body)
+                         if not lit.negated and lit.pred in scc]
+            if positions:
+                recursive.append((ind, rule, positions))
+
+        iterations = 0
+        # Seed pass: every rule against the (initially empty) totals.
+        delta: Dict[Indicator, Set[tuple]] = {}
+        for ind, rule in all_rules:
+            total = self.totals[ind]
+            for row in self._eval_rule(rule, scc, None, None):
+                if row not in total:
+                    delta.setdefault(ind, set()).add(row)
+        self._merge(delta)
+        iterations += 1
+
+        while any(delta.values()):
+            new: Dict[Indicator, Set[tuple]] = {}
+            for ind, rule, positions in recursive:
+                total = self.totals[ind]
+                pending = new.get(ind, ())
+                for pos in positions:
+                    delta_rows = delta.get(rule.body[pos].pred)
+                    if not delta_rows:
+                        continue
+                    for row in self._eval_rule(rule, scc, pos,
+                                               list(delta_rows)):
+                        if row not in total and row not in pending:
+                            pending = new.setdefault(ind, set())
+                            pending.add(row)
+            self._merge(new)
+            delta = new
+            iterations += 1
+
+        self.stats.iterations += iterations
+        self.stats.per_stratum.append(iterations)
+
+    def _merge(self, new: Dict[Indicator, Set[tuple]]) -> None:
+        for ind, rows in new.items():
+            self.totals[ind] |= rows
+            self.stats.facts += len(rows)
+
+    # ------------------------------------------------------ rule evaluation
+
+    def _eval_rule(self, rule: Rule, scc: Set[Indicator],
+                   delta_pos: Optional[int],
+                   delta_rows: Optional[List[tuple]]) -> Iterable[tuple]:
+        """One rule instantiation: delta at *delta_pos* (None for the
+        seed pass), totals everywhere else.  Yields head tuples."""
+        positives = [i for i, lit in enumerate(rule.body) if not lit.negated]
+        # Seed the plan from the delta occurrence so per-iteration work
+        # scales with the delta, not with the largest base relation; then
+        # order the remaining literals greedily by join connectivity — a
+        # literal sharing a variable with the rows built so far becomes an
+        # index probe, one sharing none would become a cross product.
+        if delta_pos is not None:
+            positives.remove(delta_pos)
+        ordered: List[int] = [] if delta_pos is None else [delta_pos]
+        bound: Set[str] = set() if delta_pos is None \
+            else set(rule.body[delta_pos].var_names())
+        while positives:
+            i = next((i for i in positives
+                      if rule.body[i].var_names() & bound), positives[0])
+            positives.remove(i)
+            ordered.append(i)
+            bound |= rule.body[i].var_names()
+
+        plan: Optional[Plan] = None
+        layout: Dict[str, int] = {}
+        width = 0
+        for i in ordered:
+            lit = rule.body[i]
+            is_delta = (i == delta_pos)
+            plan, layout, width = self._add_literal(
+                plan, layout, width, lit, scc, is_delta, delta_rows)
+
+        if plan is None:
+            plan = Rows([()], "unit")
+        for lit in rule.body:
+            if lit.negated:
+                plan = self._add_negation(plan, layout, lit, scc)
+
+        head_cols = []
+        for arg in rule.head.args:
+            if isinstance(arg, V):
+                head_cols.append(("var", layout[arg.name]))
+            else:
+                head_cols.append(("const", arg))
+        rows = execute(plan, self.tracer)
+        for row in rows:
+            yield tuple(row[c] if kind == "var" else c
+                        for kind, c in head_cols)
+
+    def _add_literal(self, plan: Optional[Plan], layout: Dict[str, int],
+                     width: int, lit: Literal, scc: Set[Indicator],
+                     is_delta: bool, delta_rows: Optional[List[tuple]]
+                     ) -> Tuple[Plan, Dict[str, int], int]:
+        is_edb = lit.pred not in self.rules
+        consts = self._const_items(lit)
+        label = lit.pred[0] + ("Δ" if is_delta else "")
+
+        # Equality conditions this literal imposes on the combined row
+        # (cross-literal shared variables, in-literal repeated variables,
+        # constants for non-EDB sources — EDB rows are pre-filtered by
+        # the grid assignment).
+        conds: List[Tuple[str, int, Any]] = []
+        join_var: Optional[str] = None
+        join_pos: Optional[int] = None
+        fresh: Dict[str, int] = {}
+        for pos, arg in enumerate(lit.args):
+            if isinstance(arg, V):
+                if arg.name in layout:
+                    if plan is not None and join_var is None:
+                        join_var, join_pos = arg.name, pos
+                    else:
+                        conds.append(("eq", layout[arg.name], width + pos))
+                elif arg.name in fresh:
+                    conds.append(("eq", fresh[arg.name], width + pos))
+                else:
+                    fresh[arg.name] = width + pos
+            elif not is_edb:
+                conds.append(("const", width + pos, arg))
+
+        if plan is None:
+            rows = self._source_rows(lit, scc, is_delta, delta_rows, consts)
+            plan = Rows(rows, label)
+        elif join_var is None:
+            rows = self._source_rows(lit, scc, is_delta, delta_rows, consts)
+            plan = CrossJoin(plan, Rows(rows, label))
+        else:
+            index = self._index_for(lit, scc, is_delta, delta_rows,
+                                    consts, join_pos)
+            plan = LookupJoin(plan, index, layout[join_var], label)
+
+        if conds:
+            plan = Filter(plan, _combined(conds))
+        layout.update(fresh)
+        return plan, layout, width + lit.pred[1]
+
+    def _add_negation(self, plan: Plan, layout: Dict[str, int],
+                      lit: Literal, scc: Set[Indicator]) -> Plan:
+        """``\\+ lit`` as a membership filter: by stratification the
+        negated predicate's extent is already complete (EDB, or a lower
+        stratum)."""
+        if lit.pred in self.rules:
+            extent = self.totals[lit.pred]
+        else:
+            extent = set(self._edb_rows(lit.pred, self._const_items(lit)))
+        probe = []
+        for arg in lit.args:
+            if isinstance(arg, V):
+                probe.append(("var", layout[arg.name]))
+            else:
+                probe.append(("const", arg))
+
+        def absent(row, probe=tuple(probe), extent=extent):
+            return tuple(row[c] if kind == "var" else c
+                         for kind, c in probe) not in extent
+        return Filter(plan, absent)
+
+    # -------------------------------------------------------- row sources
+
+    def _const_items(self, lit: Literal) -> ConstItems:
+        return tuple((pos, arg) for pos, arg in enumerate(lit.args)
+                     if not isinstance(arg, V))
+
+    def _source_rows(self, lit: Literal, scc: Set[Indicator],
+                     is_delta: bool, delta_rows: Optional[List[tuple]],
+                     consts: ConstItems) -> Sequence[tuple]:
+        if is_delta:
+            return delta_rows or []
+        if lit.pred in self.rules:
+            return list(self.totals[lit.pred])
+        return self._edb_rows(lit.pred, consts)
+
+    def _edb_rows(self, ind: Indicator, consts: ConstItems) -> List[tuple]:
+        """Matching EDB tuples, fetched once per evaluation through the
+        access-path planner (constants → grid partial match)."""
+        key = (ind, consts)
+        cached = self._edb_rows_cache.get(key)
+        if cached is None:
+            relation = self.store.relation_of(*ind)
+            rows = execute(best_access_path(relation, dict(consts)),
+                           self.tracer)
+            self.stats.edb_rows += len(rows)
+            cached = self._edb_rows_cache[key] = rows
+        return cached
+
+    def _index_for(self, lit: Literal, scc: Set[Indicator], is_delta: bool,
+                   delta_rows: Optional[List[tuple]], consts: ConstItems,
+                   join_pos: int) -> Dict[Any, List[tuple]]:
+        """A hash index on *join_pos* over the literal's source rows.
+
+        EDB indexes and lower-stratum IDB indexes are fixed for the
+        whole fixpoint and cached; current-stratum totals and deltas
+        change every iteration, so their indexes are rebuilt from the
+        live rows."""
+        if not is_delta and lit.pred not in self.rules:
+            key = (lit.pred, join_pos, consts)
+            cached = self._edb_index_cache.get(key)
+            if cached is None:
+                cached = self._edb_index_cache[key] = _build_index(
+                    self._edb_rows(lit.pred, consts), join_pos)
+            return cached
+        if (not is_delta and lit.pred in self.rules
+                and lit.pred not in scc):
+            key2 = (lit.pred, join_pos)
+            cached = self._idb_index_cache.get(key2)
+            if cached is None:
+                cached = self._idb_index_cache[key2] = _build_index(
+                    self.totals[lit.pred], join_pos)
+            return cached
+        rows = (delta_rows or []) if is_delta else self.totals[lit.pred]
+        return _build_index(rows, join_pos)
+
+
+def _build_index(rows: Iterable[tuple], attr: int) -> Dict[Any, List[tuple]]:
+    index: Dict[Any, List[tuple]] = {}
+    for row in rows:
+        index.setdefault(row[attr], []).append(row)
+    return index
+
+
+def _combined(conds: List[Tuple[str, int, Any]]):
+    """One predicate for a list of ('eq', col, col) / ('const', col, v)
+    conditions over the combined row."""
+    def check(row, conds=tuple(conds)):
+        for kind, a, b in conds:
+            if kind == "eq":
+                if row[a] != row[b]:
+                    return False
+            elif row[a] != b:
+                return False
+        return True
+    return check

@@ -1,0 +1,96 @@
+"""Per-call-site strategy selection: WAM top-down vs bottom-up.
+
+The paper's dual evaluation strategy (§4) leaves *which* engine answers
+a given goal to the system.  The heuristics here extend the relational
+access-path planner's premise — page transfer dominates, so cost in
+data volume — one level up:
+
+* goals whose predicate is not Datalog-evaluable (blocked by shape,
+  range restriction, dependency on a builtin, or unstratified negation)
+  must run top-down;
+* non-recursive evaluable goals also run top-down: the WAM with the
+  dynamic loader already answers those in one pass, and bottom-up would
+  only add fixpoint machinery around the same joins;
+* recursive evaluable goals run bottom-up **when the base data is large
+  enough to pay for it** — the relevant EDB row count (summed over the
+  dependency closure) must reach ``min_rows``.  Below that, tuple-at-
+  a-time resolution wins on constant factors; above it, set-at-a-time
+  joins win asymptotically (no re-derivation, bulk index probes).
+
+``mode`` overrides: ``"force"`` routes every evaluable recursive goal
+bottom-up regardless of size (the differential suite uses this),
+``"off"`` disables routing entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .rules import Analysis, Indicator, indicator_str
+
+__all__ = ["Decision", "choose", "DEFAULT_MIN_ROWS"]
+
+#: below this many relevant EDB rows, stay on the WAM
+DEFAULT_MIN_ROWS = 256
+
+
+@dataclass
+class Decision:
+    """One strategy decision, as shown by ``:plan`` and span attrs."""
+
+    indicator: Indicator
+    strategy: str               # 'bottomup' | 'topdown'
+    reason: str
+    evaluable: bool = False
+    recursive: bool = False
+    blocked: Optional[str] = None
+    base_rows: int = 0
+    #: evaluable strata of the goal's dependency closure, bottom first
+    strata: List[List[Indicator]] = field(default_factory=list)
+    #: query adornment (filled in by the engine when magic applies)
+    adornment: Optional[str] = None
+    magic: bool = False
+
+    def describe(self) -> str:
+        return (f"{indicator_str(self.indicator)}: {self.strategy} "
+                f"({self.reason})")
+
+
+def choose(analysis: Analysis, ind: Indicator, store,
+           mode: str = "auto",
+           min_rows: int = DEFAULT_MIN_ROWS) -> Decision:
+    """Pick the strategy for a goal on *ind*."""
+    if mode == "off":
+        return Decision(ind, "topdown", "datalog routing disabled")
+    if ind not in analysis.evaluable:
+        blocked = analysis.blocked.get(
+            ind, "not a stored rules procedure")
+        return Decision(ind, "topdown", blocked, blocked=blocked)
+
+    deps = analysis.dependencies(ind)
+    recursive = bool(deps & analysis.recursive)
+    strata = analysis.strata_of(ind)
+    base_rows = 0
+    for dep in sorted(deps & analysis.edb):
+        proc = store.lookup(*dep)
+        if proc is not None:
+            base_rows += len(proc.relation)
+
+    if not recursive:
+        return Decision(
+            ind, "topdown",
+            "non-recursive: one top-down pass answers it",
+            evaluable=True, recursive=False, base_rows=base_rows,
+            strata=strata)
+    if mode != "force" and base_rows < min_rows:
+        return Decision(
+            ind, "topdown",
+            f"small EDB ({base_rows} rows < {min_rows}): tuple-at-a-time "
+            "wins on constant factors",
+            evaluable=True, recursive=True, base_rows=base_rows,
+            strata=strata)
+    reason = (f"recursive over {base_rows} EDB rows"
+              if mode != "force" else "forced bottom-up")
+    return Decision(ind, "bottomup", reason, evaluable=True,
+                    recursive=True, base_rows=base_rows, strata=strata)

@@ -250,6 +250,9 @@ class QueryService:
         for session in self.sessions:
             self.metrics.attach(session.machine)
             self.metrics.attach(session.loader)
+            # Strategy-planner decisions and fixpoint work, per worker
+            # (counters + the fixpoint-iteration histogram).
+            self.metrics.attach(session.datalog)
 
         self._threads = [
             threading.Thread(target=self._worker_loop,

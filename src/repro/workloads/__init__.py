@@ -5,9 +5,12 @@
 * :mod:`repro.workloads.wisconsin` — the selected Wisconsin benchmark
   queries (Tables 2a/2b, §5.2);
 * :mod:`repro.workloads.integrity` — the Bry/Dahmen database integrity
-  checking task (Table 3, §5.3).
+  checking task (Table 3, §5.3);
+* :mod:`repro.workloads.graphs` — the recursion workload family
+  (chains, trees, random DAGs, same-generation) for the Datalog
+  engine (docs/DATALOG.md).
 """
 
-from . import integrity, mvv, wisconsin
+from . import graphs, integrity, mvv, wisconsin
 
-__all__ = ["mvv", "wisconsin", "integrity"]
+__all__ = ["mvv", "wisconsin", "integrity", "graphs"]

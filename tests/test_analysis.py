@@ -352,6 +352,51 @@ class TestLint:
                              "bump(N) :- counter(N).")
         assert "L102" not in rules_of(findings)
 
+    def test_l105_unstratified_negation(self):
+        text = ("% lint: external edge/2\n"
+                "win(X) :- edge(X, Y), \\+ win(Y).")
+        findings = lint_text(text)
+        assert any(f.rule == "L105" and f.indicator == "win/1"
+                   and "negation" in f.message for f in findings)
+
+    def test_l105_mutual_unstratified_cycle(self):
+        text = ("% lint: external move/2\n"
+                "trapped(X) :- move(X, Y), \\+ escapes(Y).\n"
+                "escapes(X) :- move(X, Y), \\+ trapped(Y).")
+        findings = lint_text(text)
+        flagged = {f.indicator for f in findings if f.rule == "L105"}
+        assert flagged == {"trapped/1", "escapes/1"}
+
+    def test_l105_non_range_restricted_head(self):
+        # recursive, Datalog-shaped, but the head variable C is never
+        # bound by a positive body literal
+        text = ("% lint: external edge/2\n"
+                "tag(X, C) :- edge(X, Y), tag(Y, _C0).")
+        findings = lint_text(text)
+        assert any(f.rule == "L105" and f.indicator == "tag/2"
+                   and "C" in f.message for f in findings)
+
+    def test_l105_stratified_negation_clean(self):
+        text = ("% lint: external edge/2 node/1\n"
+                "reach(X, Y) :- edge(X, Y).\n"
+                "reach(X, Z) :- edge(X, Y), reach(Y, Z).\n"
+                "unreachable(X, Y) :- node(X), node(Y), "
+                "\\+ reach(X, Y).")
+        assert "L105" not in rules_of(lint_text(text))
+
+    def test_l105_non_datalog_recursion_exempt(self):
+        # arithmetic in the body puts the clause outside the Datalog
+        # fragment: WAM execution is its normal path, nothing to flag
+        text = ("% lint: external edge/2\n"
+                "depth(X, N) :- edge(X, Y), depth(Y, M), N is M + 1.")
+        assert "L105" not in rules_of(lint_text(text))
+
+    def test_l105_disable_pragma(self):
+        text = ("% lint: disable=L105 win/1\n"
+                "% lint: external edge/2\n"
+                "win(X) :- edge(X, Y), \\+ win(Y).")
+        assert "L105" not in rules_of(lint_text(text))
+
 
 # =====================================================================
 # The loader gate

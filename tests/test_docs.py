@@ -28,6 +28,11 @@ def analysis_glossary() -> str:
     return read_doc(os.path.join("docs", "ANALYSIS.md"))
 
 
+@pytest.fixture(scope="module")
+def datalog_doc() -> str:
+    return read_doc(os.path.join("docs", "DATALOG.md"))
+
+
 def documented(glossary: str) -> set:
     """Every backtick-quoted token in the glossary."""
     return set(re.findall(r"`([^`\s]+)`", glossary))
@@ -175,6 +180,56 @@ class TestCounterGlossary:
 
 
 # =====================================================================
+# Datalog doc coverage
+# =====================================================================
+
+class TestDatalogDoc:
+    def test_engine_counters_documented(self, glossary, datalog_doc):
+        """Every datalog_* counter is in both the observability
+        glossary and the subsystem's own doc."""
+        from repro import EduceStar
+        counters = EduceStar().datalog.counters()
+        assert counters, "DatalogEngine.counters() is empty"
+        obs_names = documented(glossary)
+        doc_names = documented(datalog_doc)
+        for key in counters:
+            assert key in obs_names, f"{key} not in docs/OBSERVABILITY.md"
+            assert key in doc_names, f"{key} not in docs/DATALOG.md"
+
+    def test_fixpoint_histogram_documented(self, glossary, datalog_doc):
+        from repro import EduceStar
+        families = EduceStar().datalog.histograms()
+        assert "datalog_fixpoint_iterations" in families
+        for name in families:
+            assert name in documented(glossary), name
+            assert name in documented(datalog_doc), name
+
+    def test_evaluate_span_documented(self, glossary, datalog_doc):
+        """The datalog.evaluate span, as actually recorded under
+        tracing, is in both docs with all its attribute names."""
+        from repro import EduceStar
+        kb = EduceStar(datalog="force")
+        kb.store_relation("edge", [("a", "b"), ("b", "c")])
+        kb.store_program(
+            "reach(X, Y) :- edge(X, Y).\n"
+            "reach(X, Z) :- edge(X, Y), reach(Y, Z).\n")
+        prof = kb.profile("reach(a, X)")
+        spans = [s for s in prof.root.walk()
+                 if s.name == "datalog.evaluate"]
+        assert spans, "bottom-up query recorded no datalog.evaluate span"
+        for names in (documented(glossary), documented(datalog_doc)):
+            assert "datalog.evaluate" in names
+            for attr in spans[0].attrs:
+                assert attr in names, f"span attribute {attr}"
+
+    def test_planner_modes_documented(self, datalog_doc):
+        names = documented(datalog_doc)
+        for mode in ('"auto"', '"force"', '"off"'):
+            assert mode in names, mode
+        assert "datalog_min_rows" in names
+
+
+# =====================================================================
 # Analysis rule glossary coverage
 # =====================================================================
 
@@ -236,6 +291,7 @@ class TestDocLinks:
                                      "docs/CONCURRENCY.md",
                                      "docs/ANALYSIS.md",
                                      "docs/DURABILITY.md",
+                                     "docs/DATALOG.md",
                                      "EXPERIMENTS.md"])
     def test_inline_code_paths_exist(self, doc):
         text = read_doc(doc)
