@@ -1,0 +1,178 @@
+"""WAL-shipping replication: catch-up lag, read scaling, failover.
+
+Drives a :class:`~repro.replication.cluster.ReplicaSet` through the
+three phases a deployment cares about (docs/REPLICATION.md):
+
+1. **ship** — the primary ingests ``--relations`` fact relations of
+   ``--rows`` rows while N replicas tail its WAL; measures write
+   throughput with replication on, and the time from the last
+   acknowledged write to every replica reaching lag 0 (catch-up);
+2. **read** — staleness-bounded point reads fan out over the replicas
+   (``max_lag=0`` after the fence, so every answer is differential-
+   checked against the primary's);
+3. **drill** — the primary is killed; measures time to promote the
+   freshest replica and re-attach the stale ones, and verifies the
+   promoted primary serves every acknowledged write (zero-loss).
+
+Run:  PYTHONPATH=src python benchmarks/bench_replication.py
+      [--replicas 2] [--relations 20] [--rows 200] [--reads 100]
+      [--seed 7] [--exposition PATH] [--smoke]
+
+``--smoke`` is the CI entry point: small sizes, non-zero exit when a
+differential read diverges, the failover drill loses an acknowledged
+write, or the ``replica_*`` gauges are missing from the exposition.
+"""
+
+import argparse
+import os
+import random
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "src"))
+
+from repro.replication import ReplicaSet               # noqa: E402
+
+
+def build_cluster(directory: str, replicas: int) -> ReplicaSet:
+    return ReplicaSet(os.path.join(directory, "bench.edb"),
+                      replicas=replicas, primary_workers=2,
+                      replica_workers=1, poll_interval=0.002)
+
+
+def phase_ship(cluster: ReplicaSet, relations: int, rows: int,
+               seed: int) -> dict:
+    rng = random.Random(seed)
+    started = time.perf_counter()
+    for i in range(relations):
+        data = [(j, rng.randrange(1_000_000)) for j in range(rows)]
+        cluster.store_relation(f"rel{i}", data)
+    write_s = time.perf_counter() - started
+
+    fence_started = time.perf_counter()
+    caught_up = cluster.wait_for_catch_up(timeout=120)
+    catch_up_s = time.perf_counter() - fence_started
+    return {
+        "records": relations,
+        "rows": relations * rows,
+        "write_s": write_s,
+        "write_rps": relations / write_s if write_s else 0.0,
+        "caught_up": caught_up,
+        "catch_up_s": catch_up_s,
+    }
+
+
+def phase_read(cluster: ReplicaSet, relations: int, rows: int,
+               reads: int, seed: int) -> dict:
+    rng = random.Random(seed + 1)
+    mismatches = 0
+    latencies = []
+    for _ in range(reads):
+        rel = f"rel{rng.randrange(relations)}"
+        key = rng.randrange(rows)
+        goal = f"{rel}({key}, V)"
+        started = time.perf_counter()
+        replica_rows = cluster.execute_read(goal, max_lag=0)
+        latencies.append(time.perf_counter() - started)
+        primary_rows = cluster.execute(goal)
+        if sorted(map(str, replica_rows)) != sorted(map(str, primary_rows)):
+            mismatches += 1
+    latencies.sort()
+    return {
+        "reads": reads,
+        "mismatches": mismatches,
+        "p50_ms": latencies[len(latencies) // 2] * 1000,
+        "p95_ms": latencies[int(len(latencies) * 0.95) - 1] * 1000,
+    }
+
+
+def phase_drill(cluster: ReplicaSet) -> dict:
+    # one more acknowledged write the replicas may not have applied yet
+    cluster.store_relation("lastwrite", [(1, 1)])
+    cluster.kill_primary()
+    started = time.perf_counter()
+    winner = cluster.failover(timeout=60)
+    promote_s = time.perf_counter() - started
+    zero_loss = len(cluster.execute("lastwrite(X, Y)")) == 1
+    reattached = cluster.wait_for_catch_up(timeout=60)
+    return {
+        "winner": winner,
+        "promote_s": promote_s,
+        "zero_loss": zero_loss,
+        "reattached": reattached,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--relations", type=int, default=20)
+    parser.add_argument("--rows", type=int, default=200)
+    parser.add_argument("--reads", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--exposition", metavar="PATH", default=None,
+                        help="write the cluster's final Prometheus "
+                        "exposition (lag gauges + replica counters)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes; exit non-zero on any "
+                        "differential or zero-loss violation")
+    args = parser.parse_args(argv)
+
+    relations = 5 if args.smoke else args.relations
+    rows = 50 if args.smoke else args.rows
+    reads = 25 if args.smoke else args.reads
+
+    failures = []
+    with tempfile.TemporaryDirectory() as directory:
+        cluster = build_cluster(directory, args.replicas)
+        try:
+            ship = phase_ship(cluster, relations, rows, args.seed)
+            print(f"ship : {ship['records']} relations "
+                  f"({ship['rows']} rows) in {ship['write_s']:.2f}s "
+                  f"({ship['write_rps']:.1f} rel/s); catch-up "
+                  f"{ship['catch_up_s'] * 1000:.0f}ms "
+                  f"(caught_up={ship['caught_up']})")
+            if not ship["caught_up"]:
+                failures.append("replicas never caught up")
+
+            read = phase_read(cluster, relations, rows, reads, args.seed)
+            print(f"read : {read['reads']} lag-bounded reads, "
+                  f"p50 {read['p50_ms']:.2f}ms p95 {read['p95_ms']:.2f}ms, "
+                  f"{read['mismatches']} differential mismatch(es)")
+            if read["mismatches"]:
+                failures.append(f"{read['mismatches']} differential "
+                                "mismatches")
+
+            drill = phase_drill(cluster)
+            print(f"drill: promoted {drill['winner']} in "
+                  f"{drill['promote_s'] * 1000:.0f}ms; zero_loss="
+                  f"{drill['zero_loss']} reattached={drill['reattached']}")
+            if not drill["zero_loss"]:
+                failures.append("acknowledged write lost in failover")
+            if not drill["reattached"]:
+                failures.append("stale replicas failed to re-attach")
+
+            exposition = cluster.exposition()
+            for needle in ("educe_replica_lag_epochs",
+                           "educe_replica_lag_records",
+                           "educe_replica_records_applied",
+                           "educe_replica_promotions"):
+                if needle not in exposition:
+                    failures.append(f"{needle} missing from exposition")
+            if args.exposition:
+                with open(args.exposition, "w", encoding="utf-8") as fh:
+                    fh.write(exposition)
+                print(f"exposition ({len(exposition.splitlines())} lines) "
+                      f"-> {args.exposition}")
+        finally:
+            cluster.shutdown()
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ The registered crash-point names are documented in
 
 from __future__ import annotations
 
+import os
 from typing import IO, Dict, List, Optional, Tuple
 
 
@@ -75,6 +76,8 @@ class FaultInjector:
         self._fail_write_nth: Optional[int] = None
         self._torn_write: Optional[Tuple[int, float]] = None  # (nth, keep)
         self._bitflip_read: Optional[Tuple[int, int]] = None  # (nth, bit)
+        self._short_read: Optional[Tuple[int, float]] = None  # (nth, keep)
+        self._fail_read_nth: Optional[int] = None
         self._clause_bitflip: Optional[Tuple[int, int]] = None  # (nth, bit)
         #: every fault that actually fired, in order (test assertions)
         self.fired: List[str] = []
@@ -110,6 +113,22 @@ class FaultInjector:
         """The *nth* physical read returns its data with *bit* (absolute
         bit index into the buffer) inverted."""
         self._bitflip_read = (nth, bit)
+        return self
+
+    def arm_short_read(self, nth: int, keep: float = 0.5
+                       ) -> "FaultInjector":
+        """The *nth* physical read returns only ``keep`` (fraction) of
+        its bytes — what a replica tailer racing an in-progress append
+        observes at the log's tail.  A correct tailer treats it as a
+        torn tail: wait and retry, never truncate, never quarantine."""
+        self._short_read = (nth, keep)
+        return self
+
+    def arm_fail_read(self, nth: int) -> "FaultInjector":
+        """The *nth* physical read raises :class:`InjectedIOError` — a
+        transient stream break (NFS hiccup, EIO) the reader survives
+        and must retry with backoff."""
+        self._fail_read_nth = nth
         return self
 
     def arm_clause_bitflip(self, nth: int, bit: int = 0
@@ -166,9 +185,25 @@ class FaultInjector:
 
     def read(self, f: IO[bytes], size: int) -> bytes:
         """Physical read of *size* bytes from *f*, subject to the plan."""
+        if (self._fail_read_nth is not None
+                and self._fail_read_nth == self.reads_seen + 1):
+            self.reads_seen += 1
+            n = self.reads_seen
+            self._fail_read_nth = None
+            self.fired.append(f"fail_read#{n}")
+            raise InjectedIOError(f"injected read failure (read #{n})")
         data = f.read(size)
         self.reads_seen += 1
         n = self.reads_seen
+        if self._short_read is not None and self._short_read[0] == n:
+            _, keep = self._short_read
+            self._short_read = None
+            kept = max(0, min(len(data), int(len(data) * keep)))
+            # Rewind so a retry sees the unconsumed suffix again, like
+            # a real short read against a file still being appended.
+            f.seek(-(len(data) - kept), os.SEEK_CUR)
+            data = data[:kept]
+            self.fired.append(f"short_read#{n}")
         if self._bitflip_read is not None and self._bitflip_read[0] == n:
             _, bit = self._bitflip_read
             self._bitflip_read = None
@@ -198,6 +233,8 @@ class FaultInjector:
                     or self._fail_write_nth is not None
                     or self._torn_write is not None
                     or self._bitflip_read is not None
+                    or self._short_read is not None
+                    or self._fail_read_nth is not None
                     or self._clause_bitflip is not None)
 
 
@@ -242,6 +279,8 @@ class NullFaultInjector(FaultInjector):
     arm_fail_write = _refuse
     arm_torn_write = _refuse
     arm_bitflip_read = _refuse
+    arm_short_read = _refuse
+    arm_fail_read = _refuse
     arm_clause_bitflip = _refuse
 
 

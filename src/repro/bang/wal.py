@@ -45,6 +45,100 @@ _FRAME = struct.Struct(">2sQII")  # magic, lsn, payload length, crc32
 MAX_RECORD_BYTES = 64 * 1024 * 1024
 
 
+def read_frame(f, faults: FaultInjector, offset: int, size: int,
+               expected_lsn: int) -> Tuple[str, bytes]:
+    """Read the frame starting at *offset* from a file positioned there.
+
+    Returns ``(status, payload)``:
+
+    * ``"ok"`` — a committed frame; *payload* holds its bytes.
+    * ``"torn"`` — the frame extends past *size* (an append in
+      progress, or a crash mid-append).  Recovery truncates here; a
+      live tailer must wait and retry, **never** truncate.
+    * ``"corrupt"`` — a complete frame whose magic, LSN sequence or
+      CRC is wrong.  The log cannot be trusted past this point.
+
+    The distinction matters because the writer emits each frame in two
+    physical writes (header split, then the rest) followed by fsync: a
+    racing reader can only ever observe a short prefix of an
+    in-progress frame, so complete-but-CRC-bad bytes are genuine
+    corruption, not a race.
+    """
+    if offset + _FRAME.size > size:
+        return "torn", b""
+    header = faults.read(f, _FRAME.size)
+    if len(header) < _FRAME.size:
+        return "torn", b""
+    magic, lsn, length, crc = _FRAME.unpack(header)
+    if (magic != WAL_MAGIC or lsn != expected_lsn
+            or length > MAX_RECORD_BYTES):
+        return "corrupt", b""
+    if offset + _FRAME.size + length > size:
+        return "torn", b""
+    payload = faults.read(f, length)
+    if len(payload) < length:
+        return "torn", b""
+    if zlib.crc32(payload) != crc:
+        return "corrupt", b""
+    return "ok", payload
+
+
+class WalScan:
+    """Incremental iterator over the committed frames of a WAL file.
+
+    Yields one payload at a time so recovery and replica tailing stay
+    memory-bounded regardless of log size.  After exhaustion:
+
+    * :attr:`offset` — file offset just past the last committed frame
+      (the *good end*; recovery truncates trailing garbage to here),
+    * :attr:`next_lsn` — the LSN the next committed frame would carry,
+    * :attr:`status` — ``"ok"`` (clean end of log), ``"torn"`` or
+      ``"corrupt"`` (see :func:`read_frame`),
+    * :attr:`torn` — true when any trailing bytes follow the committed
+      prefix (either torn or corrupt end).
+
+    The file *size* is sampled once at construction: frames appended
+    after the cursor was created are not visited (the tailer simply
+    creates a fresh cursor per poll).  Every step re-seeks to its own
+    offset, so interleaved appends through the same handle cannot
+    derail the cursor.
+    """
+
+    def __init__(self, f, faults: FaultInjector, size: int,
+                 offset: int = 0, expected_lsn: int = 0):
+        self._f = f
+        self._faults = faults
+        self.size = size
+        self.offset = offset
+        self.next_lsn = expected_lsn
+        self.status = "ok"
+        self._done = False
+
+    @property
+    def torn(self) -> bool:
+        return self.status != "ok"
+
+    def __iter__(self) -> "WalScan":
+        return self
+
+    def __next__(self) -> bytes:
+        if self._done:
+            raise StopIteration
+        if self.offset >= self.size:
+            self._done = True
+            raise StopIteration
+        self._f.seek(self.offset)
+        status, payload = read_frame(self._f, self._faults, self.offset,
+                                     self.size, self.next_lsn)
+        if status != "ok":
+            self.status = status
+            self._done = True
+            raise StopIteration
+        self.offset += _FRAME.size + len(payload)
+        self.next_lsn += 1
+        return payload
+
+
 class WriteAheadLog:
     """Append-only, CRC-framed record log over one file."""
 
@@ -114,45 +208,37 @@ class WriteAheadLog:
 
     # ------------------------------------------------------------------ read
 
+    def scan_from(self, offset: int = 0,
+                  expected_lsn: int = 0) -> WalScan:
+        """Incremental committed-frame cursor starting at *offset*.
+
+        Recovery iterates it instead of materialising every payload at
+        once; a replica tailer resumes from its last good end by
+        passing the offset/LSN pair it remembered.  The cursor borrows
+        this log's file handle, so consume it before interleaving other
+        scans.  Unlike :meth:`scan` it does **not** reposition
+        :attr:`next_lsn` — the caller decides what the cursor's end
+        means.
+        """
+        f = self._require_file()
+        size = os.path.getsize(self.path)
+        return WalScan(f, self.faults, size, offset, expected_lsn)
+
     def scan(self) -> Tuple[List[bytes], bool, int]:
         """All committed record payloads, in append order.
 
-        Returns ``(payloads, torn_tail, good_end)`` where *torn_tail*
-        is true when trailing bytes after the last committed frame were
-        found (crash mid-append) and *good_end* is the file offset just
-        past the last committed frame.  Also positions :attr:`next_lsn`
-        after the last committed record, so subsequent appends continue
-        the sequence.
+        Thin wrapper over :meth:`scan_from`: returns ``(payloads,
+        torn_tail, good_end)`` where *torn_tail* is true when trailing
+        bytes after the last committed frame were found (crash
+        mid-append) and *good_end* is the file offset just past the
+        last committed frame.  Also positions :attr:`next_lsn` after
+        the last committed record, so subsequent appends continue the
+        sequence.
         """
-        f = self._require_file()
-        payloads: List[bytes] = []
-        offset = 0
-        torn = False
-        size = os.path.getsize(self.path)
-        f.seek(0)
-        expected_lsn = 0
-        while offset + _FRAME.size <= size:
-            header = self.faults.read(f, _FRAME.size)
-            if len(header) < _FRAME.size:
-                torn = True
-                break
-            magic, lsn, length, crc = _FRAME.unpack(header)
-            if (magic != WAL_MAGIC or lsn != expected_lsn
-                    or length > MAX_RECORD_BYTES
-                    or offset + _FRAME.size + length > size):
-                torn = True
-                break
-            payload = self.faults.read(f, length)
-            if len(payload) < length or zlib.crc32(payload) != crc:
-                torn = True
-                break
-            payloads.append(payload)
-            offset += _FRAME.size + length
-            expected_lsn += 1
-        if not torn and offset != size:
-            torn = True  # trailing garbage shorter than a header
-        self.next_lsn = expected_lsn
-        return payloads, torn, offset
+        cursor = self.scan_from(0)
+        payloads = list(cursor)
+        self.next_lsn = cursor.next_lsn
+        return payloads, cursor.torn, cursor.offset
 
     # ----------------------------------------------------------- maintenance
 

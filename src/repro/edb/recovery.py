@@ -37,6 +37,9 @@ class RecoveryReport:
     wal_records_stale: int = 0
     #: the log ended in a torn/corrupt frame that was truncated away
     wal_torn_tail: bool = False
+    #: byte offset just past the last committed WAL frame (where a
+    #: replica tailer bootstrapped from this checkpoint would resume)
+    wal_good_end: int = 0
     #: replayed operations by kind (``{"assert_rule": 2, ...}``)
     ops_replayed: Dict[str, int] = field(default_factory=dict)
     #: pages validated during the recovery sweep
@@ -64,6 +67,7 @@ class RecoveryReport:
             "wal_records_replayed": self.wal_records_replayed,
             "wal_records_stale": self.wal_records_stale,
             "wal_torn_tail": self.wal_torn_tail,
+            "wal_good_end": self.wal_good_end,
             "ops_replayed": dict(self.ops_replayed),
             "pages_scanned": self.pages_scanned,
             "pages_quarantined": list(self.pages_quarantined),

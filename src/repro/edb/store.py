@@ -60,7 +60,8 @@ from ..bang.faults import NULL_FAULTS, FaultInjector
 from ..bang.pager import FileDiskStore, Pager
 from ..bang.relation import BangRelation
 from ..bang.wal import WriteAheadLog
-from ..errors import (CatalogError, ExistenceError, ReproError, TypeError_,
+from ..errors import (CatalogError, ExistenceError, ReadOnlyStore,
+                      ReproError, TypeError_,
                       WalError)
 from ..locks import ReadWriteLock
 from ..obs.events import EventRing
@@ -211,6 +212,14 @@ class ExternalStore:
         #: RecoveryReport from the ExternalStore.open that produced this
         #: store (None for fresh in-memory stores)
         self.recovery: Optional[RecoveryReport] = None
+        #: mutation epoch the loaded checkpoint was taken at (stamped by
+        #: ``__getstate__``): a replica bootstrapped from a checkpoint
+        #: starts its applied-epoch tracking here
+        self.checkpoint_epoch = 0
+        #: replication fence: set on follower stores so every local
+        #: mutator raises :class:`~repro.errors.ReadOnlyStore`; the
+        #: replication apply path and :meth:`promote` bypass it
+        self.read_only_reason: Optional[str] = None
         # cumulative durability counters (merged into io_counters)
         self.wal_records_appended = 0
         self.wal_bytes_appended = 0
@@ -232,6 +241,12 @@ class ExternalStore:
         #: excluded from checkpoints): a reopened store starts empty and
         #: recursive queries fall back to the WAM until re-stored.
         self.datalog_rules = DatalogRulebase()
+        #: true on stores reconstructed from a checkpoint: the live
+        #: rulebase above was dropped, so recursive queries against
+        #: stored ``rules`` procedures silently fall back to the WAM.
+        #: The Datalog engine surfaces that fallback through the
+        #: ``datalog_rulebase_missing`` counter (docs/DATALOG.md).
+        self.datalog_rules_dropped = False
 
     # The WAL handle, fault plan and recovery report belong to the live
     # session, not the persisted image.
@@ -243,9 +258,12 @@ class ExternalStore:
         state["_home"] = None
         # The event ring holds locks and transient history.
         state["events"] = None
-        # Locks and the mutation epoch are runtime (session) state.
+        # Locks are runtime (session) state.  The mutation epoch is
+        # NOT: it must stay monotone across restarts so that WAL
+        # record epochs from different primary processes remain
+        # comparable (replica lag is denominated in epochs).
         state["_rw"] = None
-        state["mutation_epoch"] = 0
+        state["mutation_epoch"] = self.mutation_epoch
         # A checkpoint only ever persists consistent state (save()
         # captures the full in-memory image), so the poison flag never
         # travels into the image.
@@ -253,6 +271,13 @@ class ExternalStore:
         # Surface clauses are session state: the checkpoint persists
         # compiled code only (docs/DATALOG.md, "recovered stores").
         state["datalog_rules"] = None
+        state["datalog_rules_dropped"] = False
+        # Where in the mutation sequence this image was taken: replicas
+        # bootstrapping from the checkpoint resume epoch tracking here.
+        state["checkpoint_epoch"] = self.mutation_epoch
+        # The replication fence is session state (a promoted replica's
+        # checkpoint must not re-freeze the store it reloads into).
+        state["read_only_reason"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -266,8 +291,12 @@ class ExternalStore:
         if getattr(self, "events", None) is None:
             self.events = EventRing()
         self.pager.events = self.events
+        self.__dict__.setdefault("checkpoint_epoch", 0)
+        self.__dict__.setdefault("read_only_reason", None)
+        self.__dict__.setdefault("datalog_rules_dropped", False)
         if getattr(self, "datalog_rules", None) is None:
             self.datalog_rules = DatalogRulebase()
+            self.datalog_rules_dropped = True
         # Durability counters are session-scoped, like tracer spans: a
         # freshly loaded store reports work *it* did, not history baked
         # into the checkpoint it came from.
@@ -670,6 +699,8 @@ class ExternalStore:
         :meth:`save` — which checkpoints the full in-memory image —
         clears the flag.
         """
+        if self.read_only_reason is not None:
+            raise ReadOnlyStore(self.read_only_reason)
         if self._poisoned is not None:
             raise WalError(
                 "EDB store is read-only: a WAL append failed "
@@ -691,6 +722,12 @@ class ExternalStore:
         if self.wal is None:
             return
         record["era"] = self.wal_era
+        # The epoch this mutation will commit as (the outermost writing()
+        # section bumps once on exit, so nested auxiliary records share
+        # the outer mutation's epoch).  Replicas track their applied
+        # position in these units, which is what lag gauges and the
+        # differential suite's per-epoch comparisons are denominated in.
+        record["epoch"] = self.mutation_epoch + 1
         payload = pickle.dumps(record, protocol=4)
         try:
             self.wal.append(payload)
@@ -748,6 +785,44 @@ class ExternalStore:
                               record["key_dims"])
         else:
             raise CatalogError(f"unknown WAL record op {op!r}")
+
+    # ----------------------------------------------------------- replication
+
+    def freeze(self, reason: str) -> None:
+        """Fence this store read-only (a follower applying a primary's
+        WAL stream).  Every local mutator raises
+        :class:`~repro.errors.ReadOnlyStore` until :meth:`promote`
+        lifts the fence; reads are unaffected."""
+        self.read_only_reason = reason
+
+    def apply_replicated(self, record: dict) -> None:
+        """Apply one decoded primary WAL record on a follower.
+
+        Runs under the exclusive write lock with the normal epoch bump,
+        so concurrent read-only queries on this replica linearize
+        against replicated mutations exactly as they would against
+        local ones (and loader caches, keyed on procedure versions,
+        stay correct without any invalidation broadcast).  Bypasses the
+        read-only fence — that fence is for *local* mutators.  Era
+        fencing is the caller's job (:mod:`repro.replication`): this
+        method trusts the record.
+        """
+        with self.writing():
+            self._replay(record)
+            self.wal_records_replayed += 1
+
+    def promote(self, path: str) -> None:
+        """Promote a follower to primary.
+
+        Lifts the read-only fence and checkpoints the full in-memory
+        image to *path* — which bumps the checkpoint era and starts a
+        fresh WAL generation this store owns.  Stale replicas that
+        re-attach to *path* bootstrap from the new-era checkpoint, so
+        the old primary's log can never be double-applied here (the
+        era fence rejects it).
+        """
+        self.read_only_reason = None
+        self.save(path)
 
     # ----------------------------------------------------------- persistence
 
@@ -939,21 +1014,24 @@ class ExternalStore:
                 report.pages_scanned = disk.page_count
                 report.pages_quarantined = disk.verify_all()
             wal = WriteAheadLog(path + ".wal", faults=faults)
-            records, torn, good_end = wal.scan()
-            report.wal_records_seen = len(records)
-            report.wal_torn_tail = torn
-            if torn:
-                # Drop the uncommitted tail so future appends never sit
-                # behind unreadable garbage.
-                wal.truncate_to(good_end)
-            for payload in records:
+            # Incremental replay: one committed frame at a time, so
+            # recovery memory is bounded by the largest record, not the
+            # whole log.  After a replay error the cursor is still
+            # drained (without applying) to find the true good end.
+            cursor = wal.scan_from(0)
+            stopped = False
+            for payload in cursor:
+                report.wal_records_seen += 1
+                if stopped:
+                    continue
                 try:
                     record = pickle.loads(payload)
                 except Exception as exc:
                     report.errors.append(
                         f"undecodable WAL record ({type(exc).__name__}: "
                         f"{exc}); replay stopped")
-                    break
+                    stopped = True
+                    continue
                 era = record.get("era")
                 if not isinstance(era, int) or era > store.wal_era:
                     # A record from *after* the loaded checkpoint's era
@@ -964,7 +1042,8 @@ class ExternalStore:
                     report.errors.append(
                         f"WAL record era {era!r} is ahead of checkpoint "
                         f"era {store.wal_era}; replay stopped")
-                    break
+                    stopped = True
+                    continue
                 if era < store.wal_era:
                     report.wal_records_stale += 1
                     store.wal_records_skipped += 1
@@ -975,12 +1054,22 @@ class ExternalStore:
                 except ReproError as exc:
                     report.errors.append(
                         f"replay of {op!r} failed ({exc}); replay stopped")
-                    break
+                    stopped = True
+                    continue
                 report.ops_replayed[op] = report.ops_replayed.get(op, 0) + 1
                 report.wal_records_replayed += 1
                 store.wal_records_replayed += 1
                 if tracer.enabled:
                     tracer.event("wal.replay", op=op)
+            report.wal_torn_tail = cursor.torn
+            report.wal_good_end = cursor.offset
+            if cursor.torn:
+                # Drop the uncommitted tail so future appends never sit
+                # behind unreadable garbage.  (A *live tailer* seeing a
+                # torn tail must wait and retry instead — truncation is
+                # only ever the crashed owner's recovery action.)
+                wal.truncate_to(cursor.offset)
+            wal.next_lsn = cursor.next_lsn
             store.wal = wal
             store._home = path
         cls._clean_leftovers(path, disk)

@@ -118,6 +118,27 @@ class WalError(StorageError):
     treats them as the uncommitted tail and truncates them."""
 
 
+class ReplicationError(ReproError):
+    """Base class for WAL-shipping replication (:mod:`repro.replication`)
+    errors."""
+
+
+class ReadOnlyStore(ReplicationError):
+    """A mutation reached a store frozen for replication (a follower
+    applying a primary's WAL stream).  Followers accept mutations only
+    through the replication apply path; everything else must go to the
+    primary — or wait for this store to be promoted."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"store is read-only ({reason})")
+        self.reason = reason
+
+
+class PromotionError(ReplicationError):
+    """A replica could not be promoted to primary (still attached, or
+    its catch-up drain did not complete)."""
+
+
 class LockOrderError(ReproError):
     """A lock acquisition that would deadlock by construction (e.g. a
     read→write upgrade on the same
@@ -135,6 +156,28 @@ class ServiceClosed(ServiceError):
 
 class ServiceSaturated(ServiceError):
     """The bounded work queue could not admit a submission."""
+
+
+class ReadOnlyService(ServiceError):
+    """A mutation was submitted to a read-only :class:`QueryService`
+    (one serving a replica).  Writes go to the primary."""
+
+
+class ReplicaLagExceeded(ServiceError):
+    """No replica satisfies a read's staleness bound.
+
+    Raised by :meth:`repro.replication.ReplicaSet.submit_read` when
+    every attached replica lags the primary by more than the caller's
+    ``max_lag`` (in mutation epochs).  Carries the freshest lag seen so
+    callers can widen the bound or wait.
+    """
+
+    def __init__(self, max_lag: int, best_lag: object):
+        super().__init__(
+            f"no replica within max_lag={max_lag} epochs "
+            f"(freshest observed lag: {best_lag})")
+        self.max_lag = max_lag
+        self.best_lag = best_lag
 
 
 class QueryInterrupted(ServiceError):

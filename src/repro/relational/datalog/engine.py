@@ -70,6 +70,12 @@ class DatalogEngine:
         self.magic_fallbacks = 0
         self.magic_facts = 0
         self.extractions = 0
+        #: goals that targeted a stored ``rules`` procedure but fell
+        #: back to the WAM because the live rulebase was dropped when
+        #: the store was reopened (checkpoints persist compiled code
+        #: only — docs/DATALOG.md, "recovered stores")
+        self.rulebase_missing = 0
+        self._missing_reported: Set[Indicator] = set()
         self._fixpoint_hist = Histogram(boundaries=_ITER_BOUNDARIES)
 
     # ------------------------------------------------------------- analysis
@@ -97,13 +103,23 @@ class DatalogEngine:
         """Answer *goal* bottom-up, or return None to send it to the
         WAM.  Mirrors :meth:`Machine.solve`'s binding conventions so the
         two paths are interchangeable."""
-        if self.mode == "off" or not len(self.store.datalog_rules):
+        if self.mode == "off":
+            return None
+        if not len(self.store.datalog_rules):
+            # Fast path for sessions that never stored rules — but on a
+            # *reopened* store an empty rulebase may mean the live rules
+            # were dropped with the checkpoint: surface that fallback
+            # instead of silently running recursion on the WAM.
+            if self.store.datalog_rules_dropped:
+                self._note_rulebase_missing(goal)
             return None
         spec = self._goal_spec(goal)
         if spec is None:
             return None
         ind, items, varmap = spec
         if ind not in self.store.datalog_rules:
+            if self.store.datalog_rules_dropped:
+                self._note_missing_indicator(ind)
             return None
 
         analysis = self.analysis()
@@ -117,6 +133,28 @@ class DatalogEngine:
         self.bottomup += 1
         answers = self._solve_bottom_up(ind, items, analysis, decision)
         return self._bind(answers, items, varmap, limit)
+
+    def _note_rulebase_missing(self, goal) -> None:
+        spec = self._goal_spec(goal)
+        if spec is not None:
+            self._note_missing_indicator(spec[0])
+
+    def _note_missing_indicator(self, ind: Indicator) -> None:
+        """Count a WAM fallback caused by the reopened-store rulebase
+        drop: the goal targets a stored ``rules`` procedure, the store
+        was reconstructed from a checkpoint, and no live surface
+        clauses exist to evaluate it bottom-up.  One flight-recorder
+        event per procedure (the counter keeps the full tally)."""
+        proc = self.store.lookup(*ind)
+        if proc is None or proc.mode != "rules":
+            return
+        self.rulebase_missing += 1
+        if ind not in self._missing_reported:
+            self._missing_reported.add(ind)
+            events = getattr(self.store, "events", None)
+            if events is not None and events.enabled:
+                events.record("datalog.rulebase_missing",
+                              procedure=indicator_str(ind))
 
     def _goal_spec(self, goal):
         """(indicator, arg items, varmap) of a routable goal, or None.
@@ -314,6 +352,7 @@ class DatalogEngine:
             "datalog_magic_fallbacks": self.magic_fallbacks,
             "datalog_magic_facts": self.magic_facts,
             "datalog_extractions": self.extractions,
+            "datalog_rulebase_missing": self.rulebase_missing,
         }
 
     def histograms(self) -> Dict[str, Histogram]:

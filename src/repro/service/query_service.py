@@ -46,7 +46,8 @@ from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple, Union)
 
 from ..engine.session import EduceStar
-from ..errors import QueryInterrupted, ServiceClosed, ServiceSaturated
+from ..errors import (QueryInterrupted, ReadOnlyService, ServiceClosed,
+                      ServiceSaturated)
 from ..obs import MetricsRegistry, ThreadLocalCounters
 from ..obs.exposition import render_prometheus
 from ..obs.registry import Histogram
@@ -179,11 +180,16 @@ class QueryService:
                  slow_query_ms: Optional[float] = None,
                  recent_tickets: int = 256,
                  trace_capacity: int = 64,
+                 read_only: bool = False,
                  **session_kwargs):
         if workers < 1:
             raise ValueError("need at least one worker")
         if queue_size < 1:
             raise ValueError("need a positive queue bound")
+        #: replica mode (docs/REPLICATION.md): every update entry point
+        #: raises :class:`~repro.errors.ReadOnlyService`; queries are
+        #: unaffected.  Promotion flips this via :meth:`make_writable`.
+        self.read_only = bool(read_only)
         #: trace every ticket end to end (``tracing=True``), or only
         #: capture tickets slower than ``slow_query_ms`` milliseconds.
         #: Either setting enables the worker sessions' tracers per
@@ -212,6 +218,10 @@ class QueryService:
         self._ids = itertools.count(1)
         self._closed = False
         self._shutdown = False
+        # Shutdown is idempotent: the first caller does the work, every
+        # later (or concurrent) caller waits on this lock and returns.
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_complete = False
 
         # Maintained gauges (satellite fix: ``qsize()`` sampled at
         # counters() time is racy and has no memory — a burst that
@@ -327,21 +337,35 @@ class QueryService:
 
     # --------------------------------------------------------------- updates
 
+    def _check_mutable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyService(
+                "this service serves a read-only replica; "
+                "send writes to the primary")
+
+    def make_writable(self) -> None:
+        """Lift replica read-only mode (called by replica promotion,
+        after the underlying store's own fence is lifted)."""
+        self.read_only = False
+
     def store_program(self, text: str) -> None:
         """Store a program in the shared EDB (exclusive write lock),
         then invalidate exactly the affected procedures everywhere."""
+        self._check_mutable()
         with self._admin_lock:
             indicators = self.admin.store_program(text)
         self._broadcast_invalidate(indicators)
 
     def store_relation(self, name: str, rows: List[tuple],
                        **kwargs) -> None:
+        self._check_mutable()
         with self._admin_lock:
             self.admin.store_relation(name, rows, **kwargs)
             arity = len(rows[0])
         self._broadcast_invalidate([(name, arity)])
 
     def assert_external(self, clause_text: str) -> None:
+        self._check_mutable()
         with self._admin_lock:
             indicator = self.admin.assert_external(clause_text)
         self._broadcast_invalidate([indicator])
@@ -357,6 +381,7 @@ class QueryService:
         write lock normally.  The affected procedures are not known up
         front, so every worker's loader cache is cleared afterwards
         (a schema-level invalidation, not the per-procedure path)."""
+        self._check_mutable()
         with self._admin_lock:
             if callable(goal):
                 value = goal(self.admin)
@@ -385,31 +410,42 @@ class QueryService:
         ``drain=False`` queued tickets are cancelled and only in-flight
         queries run to completion.  *timeout* bounds the total join
         wait; workers still running after it are abandoned (daemon
-        threads)."""
-        with self._submit_lock:
-            self._closed = True
-        if not drain:
-            while True:
-                try:
-                    ticket = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                with self._gauge_lock:
-                    self._depth -= 1
-                self._finish_unqueued(ticket, _CANCELLED,
-                                      "service_cancelled")
-        self._shutdown = True
-        deadline = None if timeout is None else time.monotonic() + timeout
-        for thread in self._threads:
-            remaining = None
-            if deadline is not None:
-                remaining = max(0.0, deadline - time.monotonic())
-            thread.join(remaining)
-        # One last look at everything the run produced: counters,
-        # histograms, recent tickets, traces, slow queries, the event
-        # ring's tail.  Post-mortem surfaces (examples, benchmarks)
-        # read this instead of re-sampling a torn-down service.
-        self.final_telemetry = self.telemetry()
+        threads).
+
+        Idempotent: a second call — including one racing the first from
+        another thread — is a no-op that returns once the first
+        completes; ``final_telemetry`` is captured exactly once, by the
+        call that did the work."""
+        with self._shutdown_lock:
+            if self._shutdown_complete:
+                return
+            with self._submit_lock:
+                self._closed = True
+            if not drain:
+                while True:
+                    try:
+                        ticket = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    with self._gauge_lock:
+                        self._depth -= 1
+                    self._finish_unqueued(ticket, _CANCELLED,
+                                          "service_cancelled")
+            self._shutdown = True
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
+            for thread in self._threads:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                thread.join(remaining)
+            # One last look at everything the run produced: counters,
+            # histograms, recent tickets, traces, slow queries, the
+            # event ring's tail.  Post-mortem surfaces (examples,
+            # benchmarks) read this instead of re-sampling a torn-down
+            # service.
+            self.final_telemetry = self.telemetry()
+            self._shutdown_complete = True
 
     def __enter__(self) -> "QueryService":
         return self

@@ -33,6 +33,11 @@ def datalog_doc() -> str:
     return read_doc(os.path.join("docs", "DATALOG.md"))
 
 
+@pytest.fixture(scope="module")
+def replication_doc() -> str:
+    return read_doc(os.path.join("docs", "REPLICATION.md"))
+
+
 def documented(glossary: str) -> set:
     """Every backtick-quoted token in the glossary."""
     return set(re.findall(r"`([^`\s]+)`", glossary))
@@ -230,6 +235,70 @@ class TestDatalogDoc:
 
 
 # =====================================================================
+# Replication doc coverage
+# =====================================================================
+
+class TestReplicationDoc:
+    def test_replica_counters_documented(self, glossary, tmp_path):
+        """Every counter and gauge a Replica registers (per-replica
+        dotted keys included) is in the observability glossary."""
+        from repro.edb.store import ExternalStore
+        from repro.replication.replica import Replica
+        path = str(tmp_path / "p.edb")
+        ExternalStore.open(path).save(path)
+        replica = Replica("r0", path, str(tmp_path / "r0"), start=False)
+        try:
+            counters = replica.counters()
+        finally:
+            replica.shutdown()
+        assert counters, "Replica.counters() is empty"
+        names = documented(glossary)
+        missing = sorted(k for k in counters
+                         if canonical(k) not in names)
+        assert not missing, (
+            f"replica counters not in docs/OBSERVABILITY.md: {missing}")
+
+    def test_lag_gauges_flagged(self, glossary):
+        """The lag gauges are marked *gauge* in their glossary rows,
+        like every other point-in-time key."""
+        for key in ("replica_lag_epochs", "replica_lag_records"):
+            row = next(line for line in glossary.splitlines()
+                       if line.startswith(f"| `{key}`"))
+            assert "*gauge*" in row, key
+
+    def test_replication_event_kinds_documented(self, glossary):
+        """The replica lifecycle events and the reopened-store Datalog
+        fallback event are in the event-kind glossary."""
+        names = documented(glossary)
+        for kind in ("replica.attach", "replica.bootstrap",
+                     "replica.rebootstrap", "replica.quarantine",
+                     "replica.stream_retry", "replica.promote",
+                     "replica.reattach", "replica.primary_lost",
+                     "datalog.rulebase_missing"):
+            assert kind in names, kind
+
+    def test_tailer_statuses_documented(self, replication_doc):
+        """docs/REPLICATION.md spells out the poll statuses and the
+        read-routing vocabulary."""
+        names = documented(replication_doc)
+        for token in ("WalTailer", '"ok"', '"wait"', '"reset"',
+                      '"corrupt"', "max_lag", "ReplicaLagExceeded"):
+            assert token in names, token
+
+    def test_replica_crash_points_documented(self):
+        """The replica.* crash points are in the durability doc's
+        registered-crash-point table."""
+        durability = read_doc(os.path.join("docs", "DURABILITY.md"))
+        names = documented(durability)
+        for point in ("replica.bootstrap.before", "replica.apply.before",
+                      "replica.promote.before",
+                      "replica.promote.pre_save"):
+            assert point in names, point
+        for knob in ("arm_short_read", "arm_fail_read"):
+            assert f"`{knob}" in durability, knob
+
+
+# =====================================================================
 # Analysis rule glossary coverage
 # =====================================================================
 
@@ -292,6 +361,7 @@ class TestDocLinks:
                                      "docs/ANALYSIS.md",
                                      "docs/DURABILITY.md",
                                      "docs/DATALOG.md",
+                                     "docs/REPLICATION.md",
                                      "EXPERIMENTS.md"])
     def test_inline_code_paths_exist(self, doc):
         text = read_doc(doc)

@@ -205,3 +205,185 @@ class TestMachineResourceEdges:
         vars_ = ", ".join(f"V{i}" for i in range(40))
         sol = machine.solve_once(f"wide({vars_})")
         assert str(sol["V39"]) == "a39"
+
+
+# ------------------------------------------------- replication fault matrix
+
+
+@pytest.mark.fault_injection
+class TestReplicationFaults:
+    """The replica-side fault matrix (docs/REPLICATION.md): torn-tail
+    races, mid-stream corruption, crashes during promote and during
+    catch-up.  The invariant in every cell: suspect bytes are never
+    applied, the primary's log is never touched, and a restarted
+    follower converges to the primary's state."""
+
+    def _primary(self, tmp_path):
+        from repro.edb.store import ExternalStore
+        path = str(tmp_path / "db.edb")
+        store = ExternalStore.open(path)
+        store.store_facts("edge", 2, [(1, 2), (2, 3)],
+                          types=("int", "int"))
+        store.save(path)
+        return path, store
+
+    def _wait(self, predicate, timeout=10.0):
+        import time
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.002)
+        return predicate()
+
+    def test_short_read_race_is_wait_not_truncate(self, tmp_path):
+        """A reader racing the append sees a prefix of the new frame:
+        the tailer must wait and retry — and must NEVER truncate the
+        primary's log (that is the crashed *owner's* recovery move)."""
+        import os
+        from repro.bang.faults import FaultInjector
+        from repro.replication import Replica
+        path, store = self._primary(tmp_path)
+        faults = FaultInjector()
+        replica = Replica("r0", path, str(tmp_path / "r0"),
+                          workers=1, faults=faults, start=False)
+        try:
+            faults.arm_short_read(1, keep=0.4)  # next header read torn
+            store.store_facts("a", 1, [(1,)], types=("int",))
+            size = os.path.getsize(path + ".wal")
+            advanced, _backoff = replica._step(replica.poll_interval)
+            assert not advanced
+            assert replica.torn_tail_waits == 1
+            assert any(f.startswith("short_read") for f in faults.fired)
+            assert os.path.getsize(path + ".wal") == size  # untouched
+            assert replica.records_applied == 0
+            # the retry (fault disarmed) ships and applies the record
+            advanced, _backoff = replica._step(replica.poll_interval)
+            assert advanced and replica.records_applied == 1
+        finally:
+            replica.shutdown()
+
+    def test_bitflip_stream_quarantines_never_applies(self, tmp_path):
+        """A complete frame whose payload was bit-flipped in transit
+        fails its CRC: the replica quarantines and re-bootstraps; the
+        corrupt record is never replayed into its store."""
+        from repro.bang.faults import FaultInjector
+        from repro.replication import Replica
+        path, store = self._primary(tmp_path)
+        faults = FaultInjector()
+        replica = Replica("r0", path, str(tmp_path / "r0"),
+                          workers=1, faults=faults, start=False)
+        try:
+            store.store_facts("a", 1, [(7,)], types=("int",))
+            faults.arm_bitflip_read(2)   # 1st read: header, 2nd: payload
+            advanced, _ = replica._step(replica.poll_interval)
+            assert replica.quarantines == 1
+            assert replica.rebootstraps == 1   # snapshot re-bootstrap
+            assert replica.records_applied == 0  # suspect bytes dropped
+            kinds = [e["kind"] for e in replica.events.tail(10)]
+            assert "replica.quarantine" in kinds
+            assert "replica.rebootstrap" in kinds
+            # after re-bootstrap the clean stream replays fully
+            assert self._wait(lambda: (
+                replica._step(replica.poll_interval),
+                replica.records_applied >= 1)[1])
+            rows = sorted(r[:1] for r in
+                          replica.store.lookup("a", 1).relation.scan())
+            assert rows == [(7,)]
+        finally:
+            replica.shutdown()
+
+    def test_transient_stream_break_backs_off_and_recovers(self, tmp_path):
+        from repro.bang.faults import FaultInjector
+        from repro.replication import Replica
+        path, store = self._primary(tmp_path)
+        faults = FaultInjector()
+        replica = Replica("r0", path, str(tmp_path / "r0"),
+                          workers=1, faults=faults, start=False)
+        try:
+            store.store_facts("a", 1, [(1,)], types=("int",))
+            faults.arm_fail_read(1)
+            advanced, backoff = replica._step(0.01)
+            assert not advanced
+            assert replica.stream_retries == 1
+            assert backoff == 0.02            # capped exponential
+            advanced, _ = replica._step(backoff)
+            assert advanced and replica.records_applied == 1
+        finally:
+            replica.shutdown()
+
+    @pytest.mark.parametrize("crash_point", ["replica.promote.before",
+                                             "replica.promote.pre_save"])
+    def test_crash_during_promote_leaves_primary_log_intact(
+            self, tmp_path, crash_point):
+        """Killing the process mid-promote must not lose the durable
+        log: a second candidate (fresh process) still promotes with
+        every acknowledged record."""
+        import os
+        from repro.bang.faults import FaultInjector, InjectedCrash
+        from repro.replication import Replica
+        path, store = self._primary(tmp_path)
+        store.store_facts("late", 1, [(42,)], types=("int",))
+        faults = FaultInjector().arm_crash_point(crash_point)
+        replica = Replica("r0", path, str(tmp_path / "r0"),
+                          workers=1, faults=faults, start=False)
+        wal_size = os.path.getsize(path + ".wal")
+        with pytest.raises(InjectedCrash):
+            replica.promote()
+        replica.shutdown()
+        assert os.path.getsize(path + ".wal") == wal_size
+        # the drill continues with the next candidate
+        second = Replica("r1", path, str(tmp_path / "r1"),
+                         workers=1, start=False)
+        try:
+            home = second.promote()
+            assert second.promoted
+            rows = sorted(r[:1] for r in
+                          second.store.lookup("late", 1).relation.scan())
+            assert rows == [(42,)]
+            assert os.path.exists(home)
+        finally:
+            second.shutdown()
+
+    def test_follower_crash_during_catchup_then_restart(self, tmp_path):
+        """An injected crash inside the apply loop kills the follower
+        "process"; a fresh replica over the same directory re-bootstraps
+        and converges."""
+        from repro.bang.faults import FaultInjector, InjectedCrash
+        from repro.replication import Replica
+        path, store = self._primary(tmp_path)
+        faults = FaultInjector().arm_crash_point("replica.apply.before")
+        replica = Replica("r0", path, str(tmp_path / "r0"),
+                          workers=1, faults=faults)
+        try:
+            store.store_facts("a", 1, [(1,)], types=("int",))
+            assert self._wait(lambda: replica.crashed is not None)
+            assert isinstance(replica.crashed, InjectedCrash)
+            assert not replica.alive
+            assert replica.records_applied == 0
+        finally:
+            replica.shutdown()
+        restarted = Replica("r0", path, str(tmp_path / "r0"), workers=1)
+        try:
+            assert self._wait(lambda: restarted.records_applied >= 1)
+            rows = sorted(r[:1] for r in
+                          restarted.store.lookup("a", 1).relation.scan())
+            assert rows == [(1,)]
+        finally:
+            restarted.shutdown()
+
+    def test_quarantined_replica_excluded_from_reads(self, tmp_path):
+        """A quarantined replica that cannot re-bootstrap must not
+        serve staleness-bounded reads."""
+        from repro.errors import ReplicaLagExceeded
+        from repro.replication import ReplicaSet
+        cluster = ReplicaSet(str(tmp_path / "c.edb"), replicas=1,
+                             primary_workers=1, replica_workers=1)
+        try:
+            cluster.store_relation("r", [(1,)])
+            assert cluster.wait_for_catch_up(timeout=15)
+            cluster.replicas[0].quarantined = True
+            with pytest.raises(ReplicaLagExceeded):
+                cluster.submit_read("r(X)", max_lag=0)
+        finally:
+            cluster.shutdown()

@@ -1,0 +1,608 @@
+"""WAL-shipping read replicas: bootstrap, replay, lag, failover.
+
+The replication contract under test (docs/REPLICATION.md):
+
+* a replica's answers are **equal to the primary's** at every fenced
+  epoch (the differential suite runs 25 seeded interleavings);
+* staleness-bounded reads: ``max_lag`` routes to the freshest
+  admissible replica or fails typed (:class:`ReplicaLagExceeded`);
+* the supervised failover drill loses **zero acknowledged writes** —
+  acknowledged means WAL-fsynced — and stale replicas re-attach to
+  the new primary cleanly;
+* ``replica_*`` counters and lag gauges surface in the Prometheus
+  exposition, and lifecycle events in the flight recorder.
+"""
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro.bang.faults import FaultInjector, NULL_FAULTS
+from repro.bang.wal import WriteAheadLog, _FRAME
+from repro.dictionary import SegmentedDictionary
+from repro.edb.store import ExternalStore
+from repro.errors import (ReadOnlyService, ReadOnlyStore,
+                          ReplicaLagExceeded, ServiceClosed)
+from repro.lang.reader import read_terms
+from repro.replication import Replica, ReplicaSet, WalTailer
+from repro.replication.stream import CORRUPT, OK, RESET, WAIT
+from repro.service import QueryService
+from repro.wam.compiler import CompileContext
+
+
+def answers(result):
+    """Order-insensitive rendering of a solution list."""
+    return sorted(str(s) for s in result)
+
+
+def parse_exposition(text):
+    """Prometheus text → {metric_name: value} (samples only)."""
+    parsed = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(None, 1)
+        parsed[name] = float(value)
+    return parsed
+
+
+def wait_until(predicate, timeout=10.0, interval=0.002):
+    import time
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ------------------------------------------------------- scan_from (WAL)
+
+
+class TestScanFrom:
+    """The incremental WAL cursor shared by recovery and tailing."""
+
+    def test_scan_from_zero_equals_scan(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        payloads = [b"a", b"bb", b"ccc"]
+        for p in payloads:
+            wal.append(p)
+        cursor = wal.scan_from(0)
+        assert list(cursor) == payloads
+        assert cursor.status == "ok"
+        assert not cursor.torn
+        scanned, torn, good_end = wal.scan()
+        assert scanned == payloads and not torn
+        assert good_end == cursor.offset
+
+    def test_scan_from_mid_offset_resumes(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        wal.append(b"one")
+        first_end = os.path.getsize(wal.path)
+        wal.append(b"two")
+        wal.append(b"three")
+        cursor = wal.scan_from(first_end, expected_lsn=1)
+        assert list(cursor) == [b"two", b"three"]
+        assert cursor.next_lsn == 3
+
+    def test_scan_from_reports_torn_tail(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        wal.append(b"whole")
+        good_end = os.path.getsize(wal.path)
+        with open(wal.path, "ab") as f:
+            f.write(_FRAME.pack(b"WA", 1, 100, 0)[:7])  # header prefix
+        cursor = wal.scan_from(0)
+        assert list(cursor) == [b"whole"]
+        assert cursor.torn and cursor.status == "torn"
+        assert cursor.offset == good_end
+
+    def test_scan_does_not_mutate_cursor_state(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        wal.append(b"x")
+        before = wal.next_lsn
+        list(wal.scan_from(0))
+        assert wal.next_lsn == before  # scan_from is side-effect free
+
+
+# ------------------------------------------------------------ WalTailer
+
+
+class TestWalTailer:
+    def test_missing_file_is_wait(self, tmp_path):
+        tailer = WalTailer(str(tmp_path / "absent.wal"))
+        assert tailer.poll() == (WAIT, [])
+
+    def test_poll_ships_incrementally(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        tailer = WalTailer(wal.path)
+        wal.append(b"one")
+        status, records = tailer.poll()
+        assert status == OK and records == [(0, b"one")]
+        assert tailer.poll() == (OK, [])       # caught up
+        wal.append(b"two")
+        status, records = tailer.poll()
+        assert records == [(1, b"two")]
+        assert tailer.records_streamed == 2
+
+    def test_torn_tail_is_wait_and_file_untouched(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        wal.append(b"whole")
+        with open(wal.path, "ab") as f:
+            f.write(b"\x00" * 5)  # append in flight
+        size = os.path.getsize(wal.path)
+        tailer = WalTailer(wal.path)
+        status, records = tailer.poll()
+        assert status == WAIT and records == [(0, b"whole")]
+        # wait-and-retry NEVER truncates someone else's log
+        assert os.path.getsize(wal.path) == size
+        # retrying from the same position is stable
+        assert tailer.poll() == (WAIT, [])
+
+    def test_shrunk_log_is_reset(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        wal.append(b"abcdef")
+        tailer = WalTailer(wal.path)
+        tailer.poll()
+        wal.truncate_to(0)  # the owner checkpointed
+        status, records = tailer.poll()
+        assert status == RESET and records == []
+        assert tailer.offset == 0 and tailer.next_lsn == 0
+
+    def test_complete_frame_bad_crc_is_corrupt(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        wal.append(b"payload-bytes")
+        with open(wal.path, "r+b") as f:
+            f.seek(_FRAME.size + 2)
+            byte = f.read(1)
+            f.seek(_FRAME.size + 2)
+            f.write(bytes([byte[0] ^ 0x40]))
+        status, records = WalTailer(wal.path).poll()
+        assert status == CORRUPT and records == []
+
+    def test_max_records_batches(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        for i in range(10):
+            wal.append(bytes([i]))
+        tailer = WalTailer(wal.path)
+        status, records = tailer.poll(max_records=4)
+        assert status == OK and len(records) == 4
+        status, records = tailer.poll(max_records=None)
+        assert len(records) == 6
+
+
+# -------------------------------------------------------------- Replica
+
+
+@pytest.fixture
+def ctx():
+    return CompileContext(SegmentedDictionary(segment_capacity=1024))
+
+
+def seeded_primary(path, ctx):
+    store = ExternalStore.open(path)
+    store.store_facts("edge", 2, [(1, 2), (2, 3)], types=("int", "int"))
+    store.store_rules(
+        "path", 2,
+        read_terms("path(X,Y) :- edge(X,Y). "
+                   "path(X,Z) :- edge(X,Y), path(Y,Z)."), ctx)
+    store.save(path)
+    return store
+
+
+class TestReplica:
+    def test_bootstrap_serves_checkpoint_state(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        primary = seeded_primary(path, ctx)
+        replica = Replica("r0", path, str(tmp_path / "r0"),
+                          workers=1, start=False)
+        try:
+            rows = sorted(r[:2] for r in
+                          replica.store.lookup("edge", 2).relation.scan())
+            assert rows == [(1, 2), (2, 3)]
+            assert replica.bootstraps == 1
+            assert replica.applied_epoch == replica.store.checkpoint_epoch
+        finally:
+            replica.shutdown()
+
+    def test_replica_store_and_service_are_fenced(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        seeded_primary(path, ctx)
+        replica = Replica("r0", path, str(tmp_path / "r0"),
+                          workers=1, start=False)
+        try:
+            with pytest.raises(ReadOnlyStore, match="read-only"):
+                replica.store.store_facts("x", 1, [(1,)], types=("int",))
+            with pytest.raises(ReadOnlyService):
+                replica.service.store_program("p(1).")
+            with pytest.raises(ReadOnlyService):
+                replica.service.assert_external("edge(9, 9).")
+        finally:
+            replica.shutdown()
+
+    def test_continuous_replay_applies_new_writes(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        primary = seeded_primary(path, ctx)
+        replica = Replica("r0", path, str(tmp_path / "r0"), workers=1)
+        try:
+            primary.store_facts("hop", 2, [(7, 8)], types=("int", "int"))
+            assert wait_until(lambda: replica.records_applied >= 1)
+            rows = sorted(r[:2] for r in
+                          replica.store.lookup("hop", 2).relation.scan())
+            assert rows == [(7, 8)]
+            assert replica.applied_epoch == primary.mutation_epoch
+        finally:
+            replica.shutdown()
+
+    def test_replica_files_are_private(self, tmp_path, ctx):
+        """The only shared artefact is the primary's WAL (read-only);
+        the replica's pager must never touch the primary's sidecars."""
+        path = str(tmp_path / "db.edb")
+        primary = seeded_primary(path, ctx)
+        replica = Replica("r0", path, str(tmp_path / "r0"),
+                          workers=1, start=False)
+        try:
+            disk_path = replica.store.pager.disk.path
+            assert str(tmp_path / "r0") in disk_path
+            assert disk_path != primary.pager.disk.path
+        finally:
+            replica.shutdown()
+
+    def test_truncation_horizon_triggers_rebootstrap(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        primary = seeded_primary(path, ctx)
+        replica = Replica("r0", path, str(tmp_path / "r0"), workers=1)
+        try:
+            primary.store_facts("a", 1, [(1,)], types=("int",))
+            assert wait_until(lambda: replica.records_applied >= 1)
+            # checkpoint truncates the log below the replica's offset
+            # only once a *new* record makes the size test observable;
+            # the era fence catches it regardless
+            primary.save(path)
+            primary.store_facts("b", 1, [(2,)], types=("int",))
+            assert wait_until(lambda: replica.rebootstraps >= 1)
+            assert wait_until(
+                lambda: replica.store.lookup("b", 1) is not None)
+            assert replica.store.wal_era == primary.wal_era
+        finally:
+            replica.shutdown()
+
+    def test_counters_and_gauge_keys(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        seeded_primary(path, ctx)
+        replica = Replica("r7", path, str(tmp_path / "r7"),
+                          workers=1, start=False)
+        try:
+            counters = replica.counters()
+            for key in ("replica_records_applied", "replica_records_stale",
+                        "replica_bootstraps", "replica_rebootstraps",
+                        "replica_quarantines", "replica_stream_retries",
+                        "replica_torn_tail_waits", "replica_promotions"):
+                assert key in counters
+            assert "replica_lag_epochs.r7" in counters
+            assert set(replica.gauge_keys()) <= set(counters)
+        finally:
+            replica.shutdown()
+
+
+# ------------------------------------------------- differential suite
+
+
+@pytest.fixture(scope="module")
+def diff_cluster(tmp_path_factory):
+    root = tmp_path_factory.mktemp("diffcluster")
+    cluster = ReplicaSet(str(root / "db.edb"), replicas=2,
+                         primary_workers=1, replica_workers=1)
+    cluster.store_program("edge(a,b). edge(b,c). edge(c,d).")
+    yield cluster
+    cluster.shutdown()
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_differential_interleaving(diff_cluster, seed):
+    """One seeded interleaving of writes, checkpoints and fenced reads:
+    at the fence (catch-up) every replica's answers equal the
+    primary's, for both the fresh data and the shared base relation."""
+    cluster = diff_cluster
+    rng = random.Random(seed)
+    rows = sorted({(rng.randrange(50), rng.randrange(50))
+                   for _ in range(rng.randrange(3, 12))})
+    relation = f"d{seed}"
+    cluster.store_relation(relation, rows)
+    if rng.random() < 0.3:
+        cluster.checkpoint()
+    for _ in range(rng.randrange(0, 3)):
+        a, b = rng.randrange(100, 200), rng.randrange(100, 200)
+        cluster.assert_external(f"edge({a}, {b}).")
+    assert cluster.wait_for_catch_up(timeout=15), \
+        f"seed {seed}: replicas never reached the fence"
+    for goal in (f"{relation}(X, Y)", "edge(X, Y)"):
+        expected = answers(cluster.execute(goal))
+        for replica in cluster.replicas:
+            assert answers(replica.execute(goal)) == expected, \
+                f"seed {seed}: {replica.name} diverged on {goal}"
+    got = answers(cluster.execute_read(f"{relation}(X, Y)", max_lag=0))
+    assert got == answers(cluster.execute(f"{relation}(X, Y)"))
+
+
+# -------------------------------------------------- staleness bounds
+
+
+class TestMaxLag:
+    def test_lag_bound_rejects_then_admits(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        seeded_primary(path, ctx).save(path)
+        # A huge poll interval freezes the replica right after its
+        # bootstrap: deterministic, bounded staleness.
+        cluster = ReplicaSet(path, replicas=1, primary_workers=1,
+                             replica_workers=1, poll_interval=60.0)
+        try:
+            assert answers(cluster.execute_read("edge(X, Y)",
+                                                max_lag=0)) \
+                == answers(cluster.execute("edge(X, Y)"))
+            cluster.store_relation("fresh", [(1, 1)])
+            with pytest.raises(ReplicaLagExceeded) as excinfo:
+                cluster.execute_read("fresh(X, Y)", max_lag=0)
+            assert excinfo.value.max_lag == 0
+            assert excinfo.value.best_lag >= 1
+            # a loose bound serves the stale snapshot
+            stale = cluster.execute_read("edge(X, Y)", max_lag=100)
+            assert answers(stale) == answers(cluster.execute("edge(X, Y)"))
+        finally:
+            cluster.shutdown()
+
+    def test_no_replicas_falls_through_to_primary(self, tmp_path):
+        cluster = ReplicaSet(str(tmp_path / "db.edb"), replicas=0,
+                             primary_workers=1)
+        try:
+            cluster.store_relation("r", [(1,)])
+            assert answers(cluster.execute_read("r(X)")) == \
+                answers(cluster.execute("r(X)"))
+        finally:
+            cluster.shutdown()
+
+
+# ------------------------------------------------------ failover drill
+
+
+class TestFailoverDrill:
+    def test_kill_primary_promote_zero_acknowledged_loss(self, tmp_path):
+        cluster = ReplicaSet(str(tmp_path / "db.edb"), replicas=2,
+                             primary_workers=1, replica_workers=1)
+        try:
+            cluster.store_program("edge(a,b). edge(b,c).")
+            cluster.store_relation("num", [(i,) for i in range(10)])
+            assert cluster.wait_for_catch_up(timeout=15)
+            # an acknowledged write the replicas have NOT applied yet:
+            # it is fsynced in the WAL, so failover must preserve it
+            cluster.store_relation("late", [(42,)])
+            cluster.kill_primary()
+            winner = cluster.failover()
+            assert winner in ("r0", "r1")
+            assert not cluster.primary_dead
+            late = cluster.execute("late(X)")
+            assert len(late) == 1 and "42" in str(late[0])
+            assert len(cluster.execute("num(X)")) == 10
+            # the new primary owns a fresh WAL generation (era bump)
+            assert cluster.primary_store.wal_era >= 2
+            # writes flow again and the re-attached replica follows
+            cluster.store_relation("post", [(1,)])
+            assert cluster.wait_for_catch_up(timeout=15)
+            assert len(cluster.replicas) == 1
+            survivor = cluster.replicas[0]
+            assert answers(survivor.execute("post(X)")) == \
+                answers(cluster.execute("post(X)"))
+            assert survivor.rebootstraps >= 1
+        finally:
+            cluster.shutdown()
+
+    def test_freshest_replica_wins(self, tmp_path):
+        cluster = ReplicaSet(str(tmp_path / "db.edb"), replicas=2,
+                             primary_workers=1, replica_workers=1)
+        try:
+            cluster.store_relation("seedrel", [(1,)])
+            assert cluster.wait_for_catch_up(timeout=15)
+            # freeze r1's apply loop; r0 keeps up and must be chosen
+            cluster.replicas[1].stop_apply()
+            cluster.store_relation("onlyr0", [(2,)])
+            assert wait_until(
+                lambda: cluster.replicas[0].applied_epoch
+                >= cluster.primary_store.mutation_epoch)
+            cluster.kill_primary()
+            assert cluster.failover() == "r0"
+            assert len(cluster.execute("onlyr0(X)")) == 1
+        finally:
+            cluster.shutdown()
+
+    def test_poisoned_primary_fails_over(self, tmp_path):
+        from repro.bang.faults import InjectedIOError
+        cluster = ReplicaSet(str(tmp_path / "db.edb"), replicas=1,
+                             primary_workers=1, replica_workers=1)
+        try:
+            cluster.store_relation("good", [(1,), (2,)])
+            assert cluster.wait_for_catch_up(timeout=15)
+            # the next WAL append fails: the write is NOT acknowledged
+            # and the primary store poisons itself (PR 2 semantics)
+            cluster.primary_store.wal.faults = \
+                FaultInjector().arm_fail_write(1)
+            with pytest.raises(InjectedIOError):
+                cluster.store_relation("doomed", [(3,)])
+            assert cluster.poisoned() is not None
+            winner = cluster.failover()
+            assert cluster.poisoned() is None  # new primary is clean
+            # every acknowledged write survives; the unacknowledged
+            # one is (correctly) absent
+            assert len(cluster.execute("good(X)")) == 2
+            from repro.errors import ExistenceError
+            with pytest.raises(ExistenceError):
+                cluster.execute("doomed(X)")
+            cluster.store_relation("after", [(4,)])
+            assert len(cluster.execute("after(X)")) == 1
+        finally:
+            cluster.shutdown()
+
+    def test_promote_events_and_counters_surface(self, tmp_path):
+        cluster = ReplicaSet(str(tmp_path / "db.edb"), replicas=1,
+                             primary_workers=1, replica_workers=1)
+        try:
+            cluster.store_relation("r", [(1,)])
+            assert cluster.wait_for_catch_up(timeout=15)
+            cluster.kill_primary()
+            winner = cluster.failover()
+            expo = cluster.exposition()
+            parsed = parse_exposition(expo)
+            assert parsed["educe_replica_promotions"] >= 1
+            telemetry = cluster.telemetry()
+            kinds = {e["kind"] for e in telemetry["events"]}
+            assert "replica.promote" in kinds
+        finally:
+            cluster.shutdown()
+
+
+# -------------------------------------------------- exposition / events
+
+
+class TestClusterObservability:
+    def test_lag_gauges_and_counters_in_exposition(self, tmp_path):
+        cluster = ReplicaSet(str(tmp_path / "db.edb"), replicas=2,
+                             primary_workers=1, replica_workers=1)
+        try:
+            cluster.store_relation("r", [(1,)])
+            assert cluster.wait_for_catch_up(timeout=15)
+            expo = cluster.exposition()
+            parsed = parse_exposition(expo)
+            for key in ("educe_replica_lag_epochs",
+                        "educe_replica_lag_records",
+                        "educe_replica_lag_epochs_r0",
+                        "educe_replica_lag_records_r1",
+                        "educe_replica_records_applied",
+                        "educe_replica_bootstraps"):
+                assert key in parsed, key
+            # caught-up cluster: zero lag on every gauge
+            assert parsed["educe_replica_lag_epochs"] == 0
+            # gauges are typed gauge, not counter
+            assert "# TYPE educe_replica_lag_epochs gauge" in expo
+            assert "# TYPE educe_replica_records_applied counter" in expo
+        finally:
+            cluster.shutdown()
+
+    def test_telemetry_carries_replica_summaries(self, tmp_path):
+        cluster = ReplicaSet(str(tmp_path / "db.edb"), replicas=1,
+                             primary_workers=1, replica_workers=1)
+        try:
+            telemetry = cluster.telemetry()
+            (summary,) = telemetry["replicas"]
+            assert summary["name"] == "r0"
+            assert summary["alive"] is True
+            kinds = {e["kind"] for e in summary["events"]}
+            assert "replica.bootstrap" in kinds
+        finally:
+            cluster.shutdown()
+
+
+# ------------------------------------------- shutdown idempotency (S4)
+
+
+class TestShutdownIdempotency:
+    def test_service_shutdown_twice_is_noop(self, tmp_path):
+        service = QueryService(workers=1)
+        service.submit("X is 1 + 1").result()
+        service.shutdown()
+        first = service.final_telemetry
+        service.shutdown()          # second call returns immediately
+        assert service.final_telemetry is first
+        with pytest.raises(ServiceClosed):
+            service.submit("true")
+
+    def test_concurrent_shutdowns_single_winner(self):
+        service = QueryService(workers=2)
+        errors = []
+
+        def closer():
+            try:
+                service.shutdown()
+            except Exception as exc:   # pragma: no cover - must not
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert not errors
+        assert service.final_telemetry is not None
+
+    def test_replica_shutdown_idempotent(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        seeded_primary(path, ctx)
+        replica = Replica("r0", path, str(tmp_path / "r0"), workers=1)
+        replica.shutdown()
+        replica.shutdown()
+        assert not replica.alive
+
+    def test_cluster_shutdown_with_attached_replicas(self, tmp_path):
+        cluster = ReplicaSet(str(tmp_path / "db.edb"), replicas=2,
+                             primary_workers=1, replica_workers=1)
+        cluster.store_relation("r", [(i,) for i in range(5)])
+        # shut down while replicas may still be draining the stream
+        cluster.shutdown()
+        cluster.shutdown()          # idempotent at cluster level too
+        for replica in cluster.replicas:
+            assert not replica.alive
+        with pytest.raises(ServiceClosed):
+            cluster.execute("r(X)")
+
+
+# ------------------------------ reopened-store Datalog fallback (S2)
+
+
+class TestDatalogRulebaseMissing:
+    def _saved_session(self, tmp_path):
+        from repro import EduceStar
+        path = str(tmp_path / "db.edb")
+        session = EduceStar(store=ExternalStore.open(path))
+        session.store_relation("link", [(1, 2), (2, 3), (3, 4)])
+        session.store_program(
+            "% lint: external link/2\n"
+            "reach(X, Y) :- link(X, Y).\n"
+            "reach(X, Z) :- link(X, Y), reach(Y, Z).")
+        session.save(path)
+        return path
+
+    def test_fallback_counted_and_recorded(self, tmp_path):
+        from repro import EduceStar
+        path = self._saved_session(tmp_path)
+        reopened = EduceStar.open(path)
+        assert reopened.store.datalog_rules_dropped
+        # the query still answers (WAM fallback) ...
+        assert next(reopened.solve("reach(1, X)"), None) is not None
+        # ... and the silent strategy change is now observable
+        assert reopened.datalog.counters()[
+            "datalog_rulebase_missing"] >= 1
+        kinds = {e["kind"] for e in reopened.store.events.tail(50)}
+        assert "datalog.rulebase_missing" in kinds
+
+    def test_event_reported_once_per_procedure(self, tmp_path):
+        from repro import EduceStar
+        path = self._saved_session(tmp_path)
+        reopened = EduceStar.open(path)
+        list(reopened.solve("reach(1, X)"))
+        list(reopened.solve("reach(2, X)"))
+        events = [e for e in reopened.store.events.tail(50)
+                  if e["kind"] == "datalog.rulebase_missing"]
+        assert len(events) == 1
+        assert events[0]["procedure"] == "reach/2"
+        assert reopened.datalog.counters()[
+            "datalog_rulebase_missing"] == 2
+
+    def test_fresh_store_never_counts(self, tmp_path):
+        from repro import EduceStar
+        session = EduceStar()
+        session.store_relation("link", [(1, 2)])
+        session.store_program(
+            "% lint: external link/2\n"
+            "reach(X, Y) :- link(X, Y).")
+        list(session.solve("reach(1, X)"))
+        assert session.datalog.counters()[
+            "datalog_rulebase_missing"] == 0

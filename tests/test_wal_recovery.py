@@ -684,3 +684,58 @@ class TestCrashWithConcurrentReaders:
         assert len(edge_rows(reopened)) == 3
         assert not reopened.recovery.errors
         assert reopened.pager.io_counters()["buffer_pinned"] == 0
+
+
+# ----------------------------------------------- incremental scan / tailing
+
+
+class TestIncrementalScan:
+    """`scan_from` (the shared recovery/replication cursor) and the
+    live-tailer races it must survive (docs/REPLICATION.md)."""
+
+    def test_recovery_report_carries_good_end(self, tmp_path, ctx):
+        path = str(tmp_path / "db.edb")
+        store = seeded_store(path, ctx)
+        store.assert_clause("edge", 2, read_term("edge(5,5)"), ctx)
+        expected_end = os.path.getsize(path + ".wal")
+        reopened = ExternalStore.open(path, create=False)
+        assert reopened.recovery.wal_good_end == expected_end
+        assert "wal_good_end" in reopened.recovery.as_dict()
+
+    def test_tailer_sees_only_committed_prefix_mid_append(self, tmp_path):
+        """The torn-tail race from the replica's side: a short read of
+        an in-flight frame is "wait and retry", and the retry ships the
+        frame once the append lands — the owner's log is never cut."""
+        from repro.replication import WalTailer
+        faults = FaultInjector()
+        wal = WriteAheadLog(str(tmp_path / "t.wal"), faults=faults)
+        wal.append(b"committed")
+        tailer = WalTailer(wal.path)
+        status, records = tailer.poll()
+        assert status == "ok" and records == [(0, b"committed")]
+        faults.arm_torn_write(faults.writes_seen + 1, keep=0.5)
+        with pytest.raises(InjectedCrash):
+            wal.append(b"torn-in-flight")   # half the frame hits disc
+        status, records = tailer.poll()
+        assert status == "wait" and records == []
+        size = os.path.getsize(wal.path)
+        tailer.poll()                        # retries must not truncate
+        assert os.path.getsize(wal.path) == size
+        # the owner's own recovery truncates its crashed tail; the
+        # tailer then resumes cleanly from its committed offset
+        payloads, torn, good_end = wal.scan()
+        assert torn and payloads == [b"committed"]
+        wal.truncate_to(good_end)
+        wal.next_lsn = 1
+        wal.append(b"after-recovery")
+        status, records = tailer.poll()
+        assert status == "ok" and records == [(1, b"after-recovery")]
+
+    def test_scan_from_resumes_after_committed_frames(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        wal.append(b"first")
+        mid = os.path.getsize(wal.path)
+        wal.append(b"second")
+        cursor = wal.scan_from(mid, expected_lsn=1)
+        assert list(cursor) == [b"second"]
+        assert cursor.status == "ok"
