@@ -6,12 +6,34 @@ choice instructions' share tracks procedure determinism.  This bench
 records the opcode histogram for three classic program shapes —
 deterministic recursion, list processing, and non-deterministic search —
 as the raw data behind the paper's architectural arguments.
+
+Script mode adds the optimizer axis (E14 in EXPERIMENTS.md): each shape
+runs under ``optimize="off" | "peephole" | "full"`` and the report shows
+the executed-instruction and data-reference deltas, with the answers
+differentially checked across levels.
+
+Run:  PYTHONPATH=src python benchmarks/bench_instruction_mix.py
+      [--optimize all|off|peephole|full] [--exposition PATH] [--smoke]
+
+``--smoke`` is the CI entry point: non-zero exit when any level's
+answers diverge from ``optimize="off"`` or the optimizer fails to
+reduce executed instructions.
 """
 
-import pytest
+import argparse
+import os
+import sys
 
-from repro.wam.debugger import instruction_profile
-from repro.wam.machine import Machine
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import pytest                                          # noqa: E402
+
+from repro import measure                              # noqa: E402
+from repro.wam.debugger import instruction_profile     # noqa: E402
+from repro.wam.machine import Machine                  # noqa: E402
+from repro.wam.optimizer import OPT_LEVELS             # noqa: E402
 
 PROGRAMS = {
     "deterministic-recursion": (
@@ -62,3 +84,95 @@ def test_instruction_mix(benchmark, shape):
         assert head / total > 0.3  # data movement dominates
     if shape == "nondeterministic-search":
         assert profile.get("try_me_else", 0) + profile.get("try", 0) > 0
+
+
+# ------------------------------------------------------- script mode (E14)
+
+def _run_level(shape: str, level: str) -> dict:
+    from repro import term_to_text
+
+    program, goal = PROGRAMS[shape]
+    machine = Machine(optimize=level)
+    machine.consult(program)
+    with measure(machine) as meas:
+        answers = [
+            tuple(sorted((name, term_to_text(value))
+                         for name, value in sol.bindings.items()))
+            for sol in machine.solve(goal)]
+    return {
+        "answers": answers,
+        "instr_count": meas["instr_count"],
+        "data_refs": meas["data_refs"],
+        "counters": machine.counters(),
+        "snapshot": machine.counters(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--optimize", default="all",
+                        choices=("all",) + OPT_LEVELS,
+                        help="optimization level axis (default: all)")
+    parser.add_argument("--exposition", metavar="PATH", default=None,
+                        help="write the merged wam counters as "
+                             "Prometheus text format")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: differential-check answers and "
+                             "require an instruction-count reduction")
+    args = parser.parse_args(argv)
+    levels = OPT_LEVELS if args.optimize == "all" else (args.optimize,)
+
+    failures = 0
+    snapshots = []
+    print(f"{'shape':<28} {'level':<9} {'instr':>9} {'Δinstr':>8} "
+          f"{'data refs':>10} {'fusions':>8} {'demoted':>8}")
+    for shape in sorted(PROGRAMS):
+        results = {}
+        for level in levels:
+            results[level] = _run_level(shape, level)
+            snapshots.append(results[level]["snapshot"])
+        base = results.get("off")
+        for level in levels:
+            r = results[level]
+            delta = ("-" if base is None or base is r else
+                     f"{(1 - r['instr_count'] / base['instr_count']):+.1%}")
+            print(f"{shape:<28} {level:<9} {r['instr_count']:>9} "
+                  f"{delta:>8} {r['data_refs']:>10} "
+                  f"{r['counters']['wam_opt_fusions']:>8} "
+                  f"{r['counters']['wam_opt_chains_demoted']:>8}")
+            if base is not None and r["answers"] != base["answers"]:
+                print(f"FAIL {shape}: optimize={level} answers diverge "
+                      f"from off")
+                failures += 1
+            if base is not None and r["data_refs"] != base["data_refs"]:
+                print(f"FAIL {shape}: optimize={level} changed the "
+                      f"data-reference accounting "
+                      f"({base['data_refs']} -> {r['data_refs']})")
+                failures += 1
+            if r["counters"]["wam_opt_rejects"]:
+                print(f"FAIL {shape}: optimize={level} rejected "
+                      f"{r['counters']['wam_opt_rejects']} block(s)")
+                failures += 1
+        if (args.smoke and base is not None and "full" in results
+                and results["full"]["instr_count"]
+                >= base["instr_count"]):
+            print(f"FAIL {shape}: optimize=full did not reduce "
+                  f"executed instructions")
+            failures += 1
+
+    if args.exposition:
+        from repro.obs import MetricsRegistry, render_prometheus
+        text = render_prometheus(MetricsRegistry.merge(*snapshots))
+        assert "educe_wam_opt_fusions" in text
+        with open(args.exposition, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"\nmerged Prometheus exposition "
+              f"({len(text.splitlines())} lines) -> {args.exposition}")
+
+    print(f"\n{'PASS' if not failures else 'FAIL'}: answers pinned "
+          f"across levels; see EXPERIMENTS.md E14")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

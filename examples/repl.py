@@ -39,6 +39,11 @@ A minimal shell over an :class:`~repro.EduceStar` session:
                   structural + abstract verification of its compiled
                   code, first-argument partitions, dead clauses
                   (rule glossary: docs/ANALYSIS.md)
+  ``:optimize [L]``  show or set the code-optimization level —
+                  ``off``, ``peephole`` (superinstruction fusion) or
+                  ``full`` (fusion + determinism-driven dispatch);
+                  with no argument prints the level and the
+                  ``wam_opt_*`` counters (docs/OPTIMIZER.md)
   ``:lint [F]``   lint a Prolog file — or, with no argument, the
                   whole shipped corpus (prelude, workloads,
                   examples), same as ``python -m repro.analysis``
@@ -250,6 +255,17 @@ def command(session, line: str, interactive: bool):
         else:
             TRACE["on"] = (arg == "on") if arg else not TRACE["on"]
             print(f"tracing {'on' if TRACE['on'] else 'off'}")
+    elif cmd == ":optimize":
+        from repro.wam.optimizer import OPT_LEVELS
+        if arg and arg not in OPT_LEVELS:
+            print("usage: :optimize [off|peephole|full]")
+        elif arg:
+            session.set_optimize(arg)
+            print(f"optimize {arg}")
+        else:
+            opt = {k: v for k, v in session.counters().items()
+                   if k.startswith("wam_opt_")}
+            print(f"optimize {session.optimize} ({opt})")
     elif cmd == ":plan" and arg:
         print(session.datalog.explain(arg.rstrip(".")))
     elif cmd == ":verify" and arg:

@@ -41,6 +41,7 @@ from ..obs.tracing import NULL_TRACER
 from ..wam import instructions as I
 from ..wam.compiler import CompiledClause
 from ..wam.indexing import build_procedure_code
+from ..wam.optimizer import build_optimized_block
 from .codec import decode_code
 from .preunify import PreUnifier
 from .store import ExternalStore, StoredClause
@@ -54,7 +55,8 @@ class DynamicLoader:
 
     def __init__(self, store: ExternalStore,
                  preunifier: Optional[PreUnifier] = None,
-                 index: bool = True, verify: str = "structural"):
+                 index: bool = True, verify: str = "structural",
+                 optimizer=None):
         if verify not in VERIFY_LEVELS:
             raise ValueError(
                 f"verify={verify!r}: expected one of {VERIFY_LEVELS}")
@@ -62,6 +64,10 @@ class DynamicLoader:
         self.preunifier = preunifier or PreUnifier("full")
         self.index = index
         self.verify = verify
+        # Shared with the session's machine so wam_opt_* counters
+        # aggregate in one place (docs/OPTIMIZER.md); None leaves
+        # fetched blocks unoptimized.
+        self.optimizer = optimizer
         self.tracer = NULL_TRACER  # session installs its shared tracer
         # The cache is keyed by (name, arity, version, pattern, depth):
         # the stored procedure's *version* rides in the key, so an entry
@@ -100,7 +106,11 @@ class DynamicLoader:
             return None
         summaries = self.preunifier.summaries_from_registers(machine, arity)
         pattern = tuple(sorted(summaries.items()))
-        key = (name, arity, proc.version, pattern, self.preunifier.depth)
+        # The optimization level rides in the key: ``:optimize`` changes
+        # it at runtime and cached blocks must match the active level.
+        opt_level = "off" if self.optimizer is None else self.optimizer.level
+        key = (name, arity, proc.version, pattern, self.preunifier.depth,
+               opt_level)
         with self._latch:
             cached = self._cache.get(key)
             if cached is not None:
@@ -163,7 +173,7 @@ class DynamicLoader:
 
         proc = self.store.get(name, arity)
         if proc.mode == "source":
-            return self._load_source(machine, clauses)
+            return self._load_source(machine, clauses, name, arity)
 
         faults = self.store.faults
         with self.tracer.span("codec.resolve",
@@ -194,7 +204,7 @@ class DynamicLoader:
             self._as_compiled(machine, clauses[i], decoded[i])
             for i in survivors
         ]
-        block = build_procedure_code(compiled, index=self.index)
+        block = self._build(machine, compiled, name, arity)
         if self.verify == "full" and compiled:
             started = perf_counter()
             self.verify_checks += 1
@@ -245,16 +255,28 @@ class DynamicLoader:
                                      else None),
                           rule=exc.rule, offset=exc.offset)
 
+    def _build(self, machine, compiled: List[CompiledClause],
+               name: str, arity: int) -> list:
+        """Splice control code around the clause set, optimizing (behind
+        the verify/fallback gate) when the session's optimizer is on."""
+        return build_optimized_block(
+            compiled, index=self.index, optimizer=self.optimizer,
+            dictionary=machine.dictionary,
+            procedure=f"{name}/{arity}")
+
     def _as_compiled(self, machine, sc: StoredClause,
                      code: list) -> CompiledClause:
         kind, key = _index_key(machine, sc.summaries)
         return CompiledClause(
             code=code, head_name="", arity=len(sc.summaries),
-            first_arg_kind=kind, first_arg_key=key)
+            first_arg_kind=kind, first_arg_key=key,
+            arg_keys=tuple(_summary_key(machine, s)
+                           for s in sc.summaries))
 
     # ----------------------------------------------------------- source path
 
-    def _load_source(self, machine, clauses: List[StoredClause]) -> list:
+    def _load_source(self, machine, clauses: List[StoredClause],
+                     name: str, arity: int) -> list:
         """The Educe baseline inside Educe*: parse stored source text and
         compile it now.  Kept for completeness; the Educe baseline engine
         (:mod:`repro.engine.educe_baseline`) is the primary consumer of
@@ -264,7 +286,7 @@ class DynamicLoader:
             term = machine.reader.read_term(sc.source)
             compiled.append(machine.compiler.compile_clause(term))
             machine.compile_count += 1
-        return build_procedure_code(compiled, index=self.index)
+        return self._build(machine, compiled, name, arity)
 
     # ------------------------------------------------------------ facts path
 
@@ -288,8 +310,11 @@ class DynamicLoader:
             kind, key = _fact_index_key(machine, row)
             compiled.append(CompiledClause(
                 code=code, head_name=name, arity=arity,
-                first_arg_kind=kind, first_arg_key=key))
-        return build_procedure_code(compiled, index=self.index)
+                first_arg_kind=kind, first_arg_key=key,
+                arg_keys=tuple(
+                    ("constant", _value_const(machine, value))
+                    for value in row)))
+        return self._build(machine, compiled, name, arity)
 
     # ------------------------------------------------------------- counters
 
@@ -350,12 +375,8 @@ def _fact_index_key(machine, row: tuple) -> Tuple[str, Optional[tuple]]:
     return ("constant", ("int", first))
 
 
-def _index_key(machine, summaries: Tuple[tuple, ...]
-               ) -> Tuple[str, Optional[tuple]]:
-    """First-argument index metadata from stored summaries."""
-    if not summaries:
-        return ("var", None)
-    s = summaries[0]
+def _summary_key(machine, s: tuple) -> Tuple[str, Optional[tuple]]:
+    """Index metadata of one stored head-argument summary."""
     kind = s[0]
     if kind == "var":
         return ("var", None)
@@ -371,6 +392,14 @@ def _index_key(machine, summaries: Tuple[tuple, ...]
         return ("list", None)
     return ("structure",
             ("fun", machine.dictionary.intern(s[1], s[2])))
+
+
+def _index_key(machine, summaries: Tuple[tuple, ...]
+               ) -> Tuple[str, Optional[tuple]]:
+    """First-argument index metadata from stored summaries."""
+    if not summaries:
+        return ("var", None)
+    return _summary_key(machine, summaries[0])
 
 
 def _count_refs(code: list) -> int:

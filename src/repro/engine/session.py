@@ -50,16 +50,21 @@ class EduceStar:
                  dictionary_segment: int = 32000,
                  cost_model: Optional[CostModel] = None,
                  datalog: str = "auto",
-                 datalog_min_rows: Optional[int] = None):
+                 datalog_min_rows: Optional[int] = None,
+                 optimize: Optional[str] = None):
         from ..dictionary import SegmentedDictionary
         dictionary = SegmentedDictionary(segment_capacity=dictionary_segment)
         self.machine = Machine(dictionary=dictionary, index=index,
                                gc_enabled=gc_enabled,
-                               gc_threshold=gc_threshold)
+                               gc_threshold=gc_threshold,
+                               optimize=optimize)
         self.store = store or ExternalStore(pager=pager)
         self.preunifier = PreUnifier(preunify_depth)
+        # The loader shares the machine's optimizer: one level knob, one
+        # set of wam_opt_* counters per session (docs/OPTIMIZER.md).
         self.loader = DynamicLoader(self.store, self.preunifier,
-                                    index=index, verify=verify)
+                                    index=index, verify=verify,
+                                    optimizer=self.machine.optimizer)
         self.machine.unknown_handler = self._edb_trap
         self.cost_model = cost_model or CostModel()
         self.parsed_chars = 0
@@ -294,6 +299,20 @@ class EduceStar:
             return self.loader.procedure_code(m, proc.name, proc.arity)
 
         return machine.define_external(name, arity, fetch=fetch)
+
+    # ------------------------------------------------------- optimization
+
+    @property
+    def optimize(self) -> str:
+        """The session's active optimization level (docs/OPTIMIZER.md)."""
+        return self.machine.optimizer.level
+
+    def set_optimize(self, level: str) -> None:
+        """Change the optimization level at runtime (the REPL's
+        ``:optimize``).  Main-memory procedures are rebuilt immediately;
+        EDB-backed blocks rebuild on next fetch (the loader cache is
+        keyed by level, so stale-level blocks are unreachable)."""
+        self.machine.set_optimize(level)
 
     # ------------------------------------------------------------- counters
 

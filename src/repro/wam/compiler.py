@@ -73,6 +73,12 @@ class CompiledClause:
     first_arg_kind: str          # 'var' | 'constant' | 'list' | 'structure' | 'nil'
     first_arg_key: Optional[tuple]  # ('atom', id) | ('int', v) | ('flt', v) | fid
     nvars: int = 0
+    #: per-argument (kind, key) for *every* head position — the
+    #: determinism-driven dispatch pass (repro.wam.optimizer) partitions
+    #: chains on any argument, not just the first.  ``None`` (the
+    #: default) means "unknown", which disables chain demotion for this
+    #: clause.
+    arg_keys: Optional[Tuple[Tuple[str, Optional[tuple]], ...]] = None
 
 
 class CompileContext:
@@ -202,7 +208,8 @@ class ClauseCompiler:
                 last = pos == len(goals) - 1
                 self._compile_goal(state, code, goal, last, needs_env)
 
-        first_kind, first_key = self._first_arg_index_key(head_args)
+        arg_keys = tuple(self._arg_index_key(arg) for arg in head_args)
+        first_kind, first_key = arg_keys[0] if arg_keys else ("var", None)
         name = head.name if isinstance(head, Struct) else head.name
         compiled = CompiledClause(
             code=code,
@@ -211,6 +218,7 @@ class ClauseCompiler:
             first_arg_kind=first_kind,
             first_arg_key=first_key,
             nvars=len(perm_vars) + len(state.temp_index),
+            arg_keys=arg_keys,
         )
         if _SELF_VERIFY:
             from ..analysis.verifier import verify_clause
@@ -495,27 +503,26 @@ class ClauseCompiler:
 
     # -------------------------------------------------------------- indexing
 
-    def _first_arg_index_key(
-        self, head_args: Sequence[Term]
-    ) -> Tuple[str, Optional[tuple]]:
-        if not head_args:
+    def _arg_index_key(self, arg: Term) -> Tuple[str, Optional[tuple]]:
+        """(kind, key) of one head argument — position 0 drives the
+        first-argument switch (§3.2.2), the full tuple drives the
+        optimizer's per-argument chain demotion."""
+        arg = deref(arg)
+        if isinstance(arg, Var):
             return ("var", None)
-        first = deref(head_args[0])
-        if isinstance(first, Var):
-            return ("var", None)
-        if first is NIL:
+        if arg is NIL:
             return ("nil", ("atom", self.ctx.intern("[]", 0)))
-        if isinstance(first, Atom):
-            return ("constant", ("atom", self.ctx.intern(first.name, 0)))
-        if isinstance(first, int):
-            return ("constant", ("int", first))
-        if isinstance(first, float):
-            return ("constant", ("flt", first))
-        assert isinstance(first, Struct)
-        if first.indicator == (".", 2):
+        if isinstance(arg, Atom):
+            return ("constant", ("atom", self.ctx.intern(arg.name, 0)))
+        if isinstance(arg, int):
+            return ("constant", ("int", arg))
+        if isinstance(arg, float):
+            return ("constant", ("flt", arg))
+        assert isinstance(arg, Struct)
+        if arg.indicator == (".", 2):
             return ("list", None)
         return ("structure",
-                ("fun", self.ctx.intern(first.name, first.arity)))
+                ("fun", self.ctx.intern(arg.name, arg.arity)))
 
 
 class _ClauseState:

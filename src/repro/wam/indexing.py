@@ -49,19 +49,33 @@ class ProcedureLayout:
 
 
 def build_procedure_code(
-    clauses: Sequence[CompiledClause], index: bool = True
+    clauses: Sequence[CompiledClause], index: bool = True,
+    optimizer=None,
 ) -> List[tuple]:
     """Combine compiled clauses into one code block with choice
     instructions and (optionally) first-argument indexing."""
-    return build_procedure_layout(clauses, index=index).code
+    return build_procedure_layout(clauses, index=index,
+                                  optimizer=optimizer).code
 
 
 def build_procedure_layout(
-    clauses: Sequence[CompiledClause], index: bool = True
+    clauses: Sequence[CompiledClause], index: bool = True,
+    optimizer=None,
 ) -> ProcedureLayout:
-    """As :func:`build_procedure_code`, keeping the layout map."""
+    """As :func:`build_procedure_code`, keeping the layout map.
+
+    With an enabled *optimizer* (:class:`repro.wam.optimizer.Optimizer`)
+    each clause's code is peephole-fused and provably deterministic
+    chains are demoted behind ``switch_on_arg`` guards.  Callers wanting
+    the verified fall-back behaviour should go through
+    :func:`repro.wam.optimizer.build_optimized_block` instead of passing
+    the optimizer here directly.
+    """
     if not clauses:
         return ProcedureLayout(code=assemble([(I.FAIL_OP,)]))
+
+    if optimizer is not None and optimizer.fuse_enabled:
+        clauses = [optimizer.fuse_compiled(c) for c in clauses]
 
     if len(clauses) == 1:
         return ProcedureLayout(code=assemble(list(clauses[0].code)),
@@ -76,13 +90,30 @@ def build_procedure_layout(
         and any(c.first_arg_kind != "var" for c in clauses)
     )
 
+    demote = optimizer is not None and optimizer.dispatch_enabled
+
     if use_switch:
-        _emit_switch(out, clauses, entry_labels)
+        _emit_switch(out, clauses, entry_labels,
+                     optimizer if demote else None)
 
     # The variable-entry chain: try_me_else over all clauses, with clause
     # code inline.  Clause entry labels point past the choice instruction
     # so indexed jumps skip choice-point creation.
     out.append((I.LABEL, "$var_entry"))
+    if demote:
+        # Guard the full chain too: with the switch in front, X0 here is
+        # known unbound, so only positions >= 1 can decide; without a
+        # switch (index=False procedures) any position qualifies.
+        guard = optimizer.guard_for_chain(
+            clauses, list(range(len(clauses))),
+            min_arg=1 if use_switch else 0)
+        if guard is not None:
+            argpos, table = guard
+            out.append((I.SWITCH_ON_ARG, argpos,
+                        {key: entry_labels[pos]
+                         for key, pos in table.items()},
+                        "$var_seq", _FAIL_LABEL))
+            out.append((I.LABEL, "$var_seq"))
     last = len(clauses) - 1
     for i, clause in enumerate(clauses):
         if i == 0:
@@ -106,7 +137,7 @@ def build_procedure_layout(
 
 
 def _emit_switch(out: List[tuple], clauses: Sequence[CompiledClause],
-                 entry_labels: List[str]) -> None:
+                 entry_labels: List[str], optimizer=None) -> None:
     var_positions = [
         i for i, c in enumerate(clauses) if c.first_arg_kind == "var"
     ]
@@ -186,9 +217,22 @@ def _emit_switch(out: List[tuple], clauses: Sequence[CompiledClause],
         out.append((I.LABEL, "$str_entry"))
         out.append((I.SWITCH_ON_STRUCTURE, struct_table, struct_default))
 
-    # Emit the try/retry/trust chains.
+    # Emit the try/retry/trust chains, each demoted behind a
+    # switch_on_arg guard when the optimizer proves it deterministic on
+    # some argument position (docs/OPTIMIZER.md).  X0 is already fixed
+    # by the switch that reaches the chain, so only positions >= 1 can
+    # discriminate further.
     for label, positions in chains:
         out.append((I.LABEL, label))
+        guard = (optimizer.guard_for_chain(clauses, positions, min_arg=1)
+                 if optimizer is not None else None)
+        if guard is not None:
+            argpos, table = guard
+            out.append((I.SWITCH_ON_ARG, argpos,
+                        {key: entry_labels[pos]
+                         for key, pos in table.items()},
+                        f"$seq_{label[1:]}", _FAIL_LABEL))
+            out.append((I.LABEL, f"$seq_{label[1:]}"))
         last = len(positions) - 1
         for j, pos in enumerate(positions):
             if j == 0:

@@ -58,10 +58,13 @@ from .compiler import (
     is_builtin_indicator,
     split_clause,
 )
-from .indexing import build_procedure_code
+from .optimizer import Optimizer, build_optimized_block
 
 # Rough data-reference cost (register/heap/stack accesses) per opcode,
 # excluding the choice-point traffic which is counted separately.
+# Fused superinstructions carry 0 here; their handlers add the same
+# per-component costs as the runs they replace, so ``data_refs`` stays
+# comparable across optimization levels while ``instr_count`` drops.
 _DATA_COST = {
     I.GET_VARIABLE: 2, I.GET_VALUE: 3, I.GET_CONSTANT: 2, I.GET_NIL: 2,
     I.GET_STRUCTURE: 3, I.GET_LIST: 3,
@@ -75,6 +78,8 @@ _DATA_COST = {
     I.ESCAPE: 2, I.FAIL_OP: 0, I.NOOP: 0, I.HALT_SUCCESS: 0,
     I.TRY_ME_ELSE: 0, I.RETRY_ME_ELSE: 0, I.TRUST_ME: 0,
     I.TRY: 0, I.RETRY: 0, I.TRUST: 0,
+    I.GET_CONSTANTS: 0, I.UNIFY_CONSTANTS: 0, I.GET_LIST_VV: 0,
+    I.PUT_ARGS: 0, I.SWITCH_ON_ARG: 1,
 }
 
 _CP_FIXED_FIELDS = 7  # prev, e, cp, tr, h, b0, next — per create/restore
@@ -179,10 +184,15 @@ class Machine:
     def __init__(self, dictionary: Optional[SegmentedDictionary] = None,
                  index: bool = True,
                  gc_enabled: bool = True,
-                 gc_threshold: int = 200_000):
+                 gc_threshold: int = 200_000,
+                 optimize: Optional[str] = None):
         self.dictionary = dictionary or SegmentedDictionary(
             segment_capacity=32000)
         self.index_enabled = index
+        # Code optimizer (docs/OPTIMIZER.md).  ``optimize=None`` resolves
+        # to the process default; the instance is shared with the EDB
+        # dynamic loader so the wam_opt_* counters aggregate here.
+        self.optimizer = Optimizer(optimize)
         self.reader = Reader()
         self.ctx = CompileContext(self.dictionary, self._define_aux)
         self.compiler = ClauseCompiler(self.ctx)
@@ -311,7 +321,12 @@ class Machine:
         proc = Procedure(pid, name, arity, kind, clauses=list(clauses),
                          index=use_index)
         if kind == "static":
-            proc.code = self._compile_procedure(clauses, use_index)
+            self.compile_count += len(clauses)
+            # Keep the per-clause compiled code so ``set_optimize`` can
+            # rebuild the control wrapper without recompiling clauses.
+            proc.compiled = [self.compiler.compile_clause(c)
+                             for c in clauses]
+            proc.code = self._build_block(proc)
         self.procedures[pid] = proc
         return proc
 
@@ -333,7 +348,28 @@ class Machine:
     def _compile_procedure(self, clauses: List[Term], index: bool) -> list:
         self.compile_count += len(clauses)
         compiled = [self.compiler.compile_clause(c) for c in clauses]
-        return build_procedure_code(compiled, index=index)
+        return build_optimized_block(compiled, index=index,
+                                     optimizer=self.optimizer,
+                                     dictionary=self.dictionary)
+
+    def _build_block(self, proc: Procedure) -> list:
+        return build_optimized_block(
+            proc.compiled, index=proc.index, optimizer=self.optimizer,
+            dictionary=self.dictionary,
+            procedure=f"{proc.name}/{proc.arity}")
+
+    def set_optimize(self, level: str) -> None:
+        """Change the optimization level and rebuild every main-memory
+        procedure's control wrapper at the new level (per-clause compiled
+        code is reused; dynamics rebuild lazily on next call)."""
+        if level == self.optimizer.level:
+            return
+        self.optimizer.set_level(level)
+        for proc in self.procedures.values():
+            if proc.kind == "static" and proc.compiled:
+                proc.code = self._build_block(proc)
+            elif proc.kind == "dynamic":
+                proc.dirty = True
 
     def _define_aux(self, name: str, arity: int, clauses: List[Term]) -> None:
         self.define_procedure(name, arity, clauses, index=False)
@@ -823,6 +859,11 @@ class Machine:
             I.FAIL_OP: self._i_fail,
             I.NOOP: self._i_noop,
             I.HALT_SUCCESS: self._i_halt,
+            I.GET_CONSTANTS: self._i_get_constants,
+            I.UNIFY_CONSTANTS: self._i_unify_constants,
+            I.GET_LIST_VV: self._i_get_list_vv,
+            I.PUT_ARGS: self._i_put_args,
+            I.SWITCH_ON_ARG: self._i_switch_on_arg,
         }
 
     # --- register access ----------------------------------------------------
@@ -982,6 +1023,72 @@ class Machine:
             for _ in range(n):
                 self.new_var()
 
+    # --- fused superinstructions (repro.wam.optimizer) ---------------------
+    # Each executes the exact semantics of the plain-instruction run it
+    # replaces, in source order, and adds the same per-component data
+    # costs; only the dispatch overhead (instr_count) is saved.
+
+    def _i_get_constants(self, instr):
+        for const, ai in instr[1]:
+            self.data_refs += 2
+            cell = self.deref_cell(self.x[ai[1]])
+            if cell[0] == "REF":
+                self.bind(cell[1], self._const_cell(const))
+                continue
+            want = self._const_cell(const)
+            if cell[0] != want[0] or cell[1] != want[1]:
+                return "fail"
+
+    def _i_unify_constants(self, instr):
+        # Mode cannot change across a run of unify_constant, so the
+        # check is hoisted out of the loop.
+        if self.mode == "read":
+            for const in instr[1]:
+                self.data_refs += 2
+                want = self._const_cell(const)
+                cell = self.deref_cell(self.heap[self.s])
+                self.s += 1
+                if cell[0] == "REF":
+                    self.bind(cell[1], want)
+                    continue
+                if cell[0] != want[0] or cell[1] != want[1]:
+                    return "fail"
+        else:
+            for const in instr[1]:
+                self.data_refs += 2
+                self.heap.append(self._const_cell(const))
+
+    def _i_get_list_vv(self, instr):
+        self.data_refs += 3  # the get_list component always runs
+        cell = self.deref_cell(self.x[instr[1][1]])
+        if cell[0] == "REF":
+            self.data_refs += 4  # 2 x unify_variable
+            self.bind(cell[1], ("LIS", len(self.heap)))
+            self._reg_write(instr[2], self.new_var())
+            self._reg_write(instr[3], self.new_var())
+            self.mode = "write"
+            return None
+        if cell[0] == "LIS":
+            self.data_refs += 4  # 2 x unify_variable
+            s = cell[1]
+            self._reg_write(instr[2], self.heap[s])
+            self._reg_write(instr[3], self.heap[s + 1])
+            self.s = s + 2
+            self.mode = "read"
+            return None
+        # an unfused run would stop at the failing get_list: the two
+        # unify_variable components never execute, so they cost nothing
+        return "fail"
+
+    def _i_put_args(self, instr):
+        for item in instr[1]:
+            if item[0] == "v":
+                self.data_refs += 2
+                self._reg_write(item[2], self._reg_read(item[1]))
+            else:
+                self.data_refs += 1
+                self._reg_write(item[2], self._const_cell(item[1]))
+
     # --- control -----------------------------------------------------------
 
     def _i_allocate(self, instr):
@@ -1028,8 +1135,7 @@ class Machine:
                     proc.compiled.append(
                         self.compiler.compile_clause(proc.clauses[idx]))
                     self.compile_count += 1
-                proc.code = build_procedure_code(proc.compiled,
-                                                 index=proc.index)
+                proc.code = self._build_block(proc)
                 proc.dirty = False
             self.code, self.pc = proc.code, 0
             return None
@@ -1134,6 +1240,27 @@ class Machine:
         cell = self.deref_cell(self.x[0])
         fid = self.heap[cell[1]][1]
         self.pc = instr[1].get(("fun", fid), instr[2])
+
+    def _i_switch_on_arg(self, instr):
+        # (argpos, {const_key: offset}, lvar, lmiss) — the optimizer's
+        # chain guard: every guarded clause holds a pairwise-distinct
+        # constant at argpos, so a bound constant selects at most one
+        # clause (no choice point) and a bound list/structure none.
+        cell = self.deref_cell(self.x[instr[1]])
+        tag = cell[0]
+        if tag == "REF":
+            self.pc = instr[3]
+            return None
+        if tag == "CON":
+            key = ("atom", cell[1])
+        elif tag == "INT":
+            key = ("int", cell[1])
+        elif tag == "FLT":
+            key = ("flt", cell[1])
+        else:  # LIS / STR cannot match an all-constant chain
+            self.pc = instr[4]
+            return None
+        self.pc = instr[2].get(key, instr[4])
 
     # --- cut -------------------------------------------------------------------
 
@@ -1284,7 +1411,8 @@ class Machine:
     # ===================================================== misc accessors
 
     def counters(self) -> dict:
-        return {
+        out = self.optimizer.counters()
+        out.update({
             "instr_count": self.instr_count,
             "data_refs": self.data_refs,
             "cp_refs": self.cp_refs,
@@ -1296,9 +1424,11 @@ class Machine:
             "heap_high_water": self.heap_high_water,
             "gc_runs": self.gc_runs,
             "gc_cells_recovered": self.gc_cells_recovered,
-        }
+        })
+        return out
 
     def reset_counters(self) -> None:
+        self.optimizer.reset_counters()
         self.instr_count = 0
         self.data_refs = 0
         self.cp_refs = 0

@@ -12,6 +12,14 @@ from repro.terms import Atom, Struct, Var
 # and the whole suite is the property harness that finds it.
 enable_self_verify()
 
+# Every machine/session constructed without an explicit ``optimize=``
+# runs at the highest optimization level, so the whole suite doubles as
+# the optimizer's regression net (docs/OPTIMIZER.md).  Tests pinning
+# exact unoptimized codegen pass ``optimize="off"`` explicitly.
+from repro.wam.optimizer import set_default_level  # noqa: E402
+
+set_default_level("full")
+
 
 @pytest.fixture
 def machine():

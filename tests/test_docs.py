@@ -38,6 +38,11 @@ def replication_doc() -> str:
     return read_doc(os.path.join("docs", "REPLICATION.md"))
 
 
+@pytest.fixture(scope="module")
+def optimizer_doc() -> str:
+    return read_doc(os.path.join("docs", "OPTIMIZER.md"))
+
+
 def documented(glossary: str) -> set:
     """Every backtick-quoted token in the glossary."""
     return set(re.findall(r"`([^`\s]+)`", glossary))
@@ -339,6 +344,35 @@ class TestAnalysisGlossary:
 
 
 # =====================================================================
+# Optimizer doc (docs/OPTIMIZER.md)
+# =====================================================================
+
+class TestOptimizerDoc:
+    def test_levels_documented(self, optimizer_doc):
+        from repro.wam.optimizer import OPT_LEVELS
+        for level in OPT_LEVELS:
+            assert f'"{level}"' in optimizer_doc, level
+
+    def test_fused_opcodes_documented(self, optimizer_doc):
+        from repro.wam import instructions as I
+        names = documented(optimizer_doc)
+        for op in (I.GET_CONSTANTS, I.UNIFY_CONSTANTS, I.GET_LIST_VV,
+                   I.PUT_ARGS, I.SWITCH_ON_ARG):
+            assert op in names, op
+
+    def test_counters_documented(self, optimizer_doc):
+        from repro.wam.optimizer import Optimizer
+        names = documented(optimizer_doc)
+        for counter in Optimizer("off").counters():
+            assert counter in names, counter
+
+    def test_knob_surfaces_documented(self, optimizer_doc):
+        for surface in ("Machine(optimize=", "EduceStar(optimize=",
+                        ":optimize", "set_default_level"):
+            assert surface in optimizer_doc, surface
+
+
+# =====================================================================
 # Doc links
 # =====================================================================
 
@@ -362,6 +396,7 @@ class TestDocLinks:
                                      "docs/DURABILITY.md",
                                      "docs/DATALOG.md",
                                      "docs/REPLICATION.md",
+                                     "docs/OPTIMIZER.md",
                                      "EXPERIMENTS.md"])
     def test_inline_code_paths_exist(self, doc):
         text = read_doc(doc)

@@ -192,3 +192,102 @@ def test_relops_match_python_semantics(rows):
     session.solve_once("db_project(t/2, [2], tags)")
     want = len({r[1] for r in rows})
     assert session.solve_once("db_count(tags/1, N)")["N"] == want
+
+
+# ================================================================
+# Optimizer differential fuzzer (docs/OPTIMIZER.md)
+#
+# Random clause sets run on two machines — ``optimize="off"`` and
+# ``optimize="full"`` — and must produce identical answers *in the
+# same order* for every goal, while every consulted procedure passes
+# ``verify="full"`` on both.  Failures print the seed so the case can
+# be replayed with ``_optimizer_fuzz_case(seed)``.
+# ================================================================
+
+_FUZZ_ATOMS = ("a", "b", "c", "d", "e")
+
+
+def _random_program(rng):
+    lines = []
+    for name, arity in (("p", 2), ("q", 1), ("r", 3)):
+        for _ in range(rng.randint(2, 6)):
+            args = []
+            for _k in range(arity):
+                roll = rng.random()
+                if roll < 0.5:
+                    args.append(rng.choice(_FUZZ_ATOMS))
+                elif roll < 0.8:
+                    args.append(str(rng.randint(0, 5)))
+                else:
+                    args.append(f"V{rng.randint(0, 1)}")
+            lines.append(f"{name}({', '.join(args)}).")
+    # rules drive put_args fusion and call-chain codegen
+    lines.append("s(X, Y) :- p(X, Y).")
+    lines.append("s(X, Y) :- q(X), r(X, Y, _).")
+    lines.append("u(X) :- p(a, X).")
+    # list clauses drive get_list_vv and unify fusion
+    lines.append("t([H|T], H, T).")
+    lines.append("t([], nil, nil).")
+    return "\n".join(lines)
+
+
+def _random_goals(rng):
+    goals = ["p(A, B)", "q(A)", "r(A, B, C)", "s(A, B)", "u(A)",
+             "t(A, B, C)", "t([a, b, c], H, T)"]
+    goals.append(f"p({rng.choice(_FUZZ_ATOMS)}, B)")
+    goals.append(f"p(A, {rng.randint(0, 5)})")
+    goals.append(f"r(A, {rng.choice(_FUZZ_ATOMS)}, C)")
+    goals.append(f"s({rng.choice(_FUZZ_ATOMS)}, B)")
+    return goals
+
+
+def _collect_answers(machine, goal, limit=30):
+    from tests.test_optimizer import collect
+    return collect(machine, goal, limit=limit)
+
+
+def _optimizer_fuzz_case(seed, off, full):
+    import random
+
+    from repro.analysis.verifier import verify_code
+
+    rng = random.Random(seed)
+    program = _random_program(rng)
+    goals = _random_goals(rng)
+    for machine in (off, full):
+        before = set(machine.procedures)
+        machine.consult(program)
+        for pid, proc in machine.procedures.items():
+            if pid in before or proc.name.startswith("$"):
+                continue
+            verify_code(list(proc.code), arity=proc.arity,
+                        dictionary=machine.dictionary, level="full",
+                        procedure=f"{proc.name}/{proc.arity}")
+    for goal in goals:
+        got_off = _collect_answers(off, goal)
+        got_full = _collect_answers(full, goal)
+        assert got_full == got_off, (
+            f"optimizer fuzz seed={seed}: {goal} diverged\n"
+            f"  program:\n{program}\n"
+            f"  off : {got_off}\n  full: {got_full}")
+    assert full.optimizer.rejects == 0, (
+        f"optimizer fuzz seed={seed}: gate rejected a block "
+        f"{full.optimizer.last_reject}")
+
+
+def test_optimizer_differential_fuzz():
+    """≥100 random clause sets: off and full agree answer-for-answer,
+    in order, and every block is verify="full" clean on both sides."""
+    off = Machine(optimize="off")
+    full = Machine(optimize="full")
+    for seed in range(120):
+        _optimizer_fuzz_case(seed, off, full)
+
+
+def test_optimizer_differential_fuzz_unindexed():
+    """The same differential with first-argument indexing disabled:
+    the chain-demotion pass guards whole procedures (positions ≥ 0)."""
+    off = Machine(optimize="off", index=False)
+    full = Machine(optimize="full", index=False)
+    for seed in range(200, 230):
+        _optimizer_fuzz_case(seed, off, full)
