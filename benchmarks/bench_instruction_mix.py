@@ -14,10 +14,21 @@ differentially checked across levels.
 
 Run:  PYTHONPATH=src python benchmarks/bench_instruction_mix.py
       [--optimize all|off|peephole|full] [--exposition PATH] [--smoke]
+      [--profile]
 
 ``--smoke`` is the CI entry point: non-zero exit when any level's
 answers diverge from ``optimize="off"`` or the optimizer fails to
 reduce executed instructions.
+
+``--profile`` switches to the sampled-profiler overhead contract (E15
+in EXPERIMENTS.md): each shape runs bare, with a profiler installed
+but disabled (the off path), and with sampling enabled, toggling one
+machine through the three configurations in rotated interleaved
+trials (overhead = median of within-trial ratios to bare).  With
+``--smoke`` the run fails when the off path costs more than 1 % or
+sampling more than 2 %, when any configuration changes the executed
+instruction count, or when the profiler's per-predicate attribution
+misses the workload's own predicates.
 """
 
 import argparse
@@ -108,6 +119,194 @@ def _run_level(shape: str, level: str) -> dict:
     }
 
 
+# ------------------------------------------------- profiler overhead (E15)
+
+#: per-timing-slice goal repeats, sized so one slice is long enough to
+#: dwarf the timer resolution but short enough that many interleaved
+#: slices fit in a CI run
+_PROFILE_REPEATS = {
+    "deterministic-recursion": 1,
+    "list-processing": 8,
+    "nondeterministic-search": 10,
+}
+
+#: the overhead contract (docs/OBSERVABILITY.md, EXPERIMENTS.md E15)
+_OFF_PATH_BUDGET = 0.01
+_SAMPLING_BUDGET = 0.02
+
+
+def _timed_run(machine, goal: str, repeats: int) -> float:
+    import time
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for _ in machine.solve(goal):
+            pass
+    return time.perf_counter() - start
+
+
+def _median(values):
+    values = sorted(values)
+    n = len(values)
+    mid = n // 2
+    return values[mid] if n % 2 else (values[mid - 1] + values[mid]) / 2
+
+
+def _measure_overhead(benches, trials, ratios):
+    """One measurement pass: for every shape, *trials* adjacent
+    base/config slice pairs per configuration, with the order inside
+    each pair alternating (base-first on even trials, config-first on
+    odd) so slow drift and position bias cancel.  Appends the paired
+    ratios to *ratios* and returns per-shape base medians."""
+    import gc
+
+    base_ms = {}
+    gc.disable()
+    try:
+        for shape, (machine, sampler, set_config) in benches.items():
+            goal = PROGRAMS[shape][1]
+            repeats = _PROFILE_REPEATS[shape]
+            base_times = []
+            for trial in range(trials):
+                for config in ("off", "on"):
+                    pair = (("base", config) if trial % 2
+                            else (config, "base"))
+                    set_config(pair[0])
+                    t1 = _timed_run(machine, goal, repeats)
+                    set_config(pair[1])
+                    t2 = _timed_run(machine, goal, repeats)
+                    t_cfg, t_base = (t2, t1) if pair[0] == "base" \
+                        else (t1, t2)
+                    ratios[shape][config].append(t_cfg / t_base)
+                    base_times.append(t_base)
+            base_ms[shape] = _median(base_times) * 1000
+    finally:
+        gc.enable()
+    return base_ms
+
+
+def _pooled(ratios, config):
+    pool = [r for per_shape in ratios.values()
+            for r in per_shape[config]]
+    return _median(pool) - 1.0
+
+
+def profile_mode(args) -> int:
+    """Measure the sampled profiler's overhead and show its
+    attribution.
+
+    One machine per shape; the three configurations — bare, installed-
+    but-disabled (the off path), and sampling — toggle the *same*
+    machine, so code-layout and allocator effects cancel (separate
+    Machine instances differ by several percent on their own).  Each
+    overhead is the median over adjacent order-alternating slice pairs
+    of the config/base wall-time ratio, pooled across shapes; Python's
+    gc is parked during timing.  In ``--smoke`` mode a verdict over
+    budget triggers one automatic remeasure with more trials (the
+    pools merge) before failing — the contract gates the profiler's
+    cost, not the host's scheduler."""
+    from repro.obs.profiler import WamProfiler
+
+    trials = 20 if args.smoke else 10
+    failures = 0
+    ratios = {shape: {"off": [], "on": []} for shape in PROGRAMS}
+    snapshots = []
+    sampler = None
+    benches = {}
+    for shape in sorted(PROGRAMS):
+        program, goal = PROGRAMS[shape]
+        machine = Machine()
+        machine.consult(program)
+        sampler = WamProfiler(interval=2048).install(machine)
+
+        def set_config(config, machine=machine, sampler=sampler):
+            machine.profiler = sampler if config != "base" else None
+            if config == "on":
+                sampler.active or sampler.enable()
+            else:
+                sampler.disable()
+
+        # Differential check first (also warms the machine): neither
+        # configuration may change what executes.
+        counts = {}
+        for config in ("base", "off", "on"):
+            set_config(config)
+            before = machine.instr_count
+            answers = [tuple(sorted(s.bindings.items()))
+                       for s in machine.solve(goal)]
+            counts[config] = (machine.instr_count - before,
+                              len(answers))
+        if len(set(counts.values())) != 1:
+            print(f"FAIL {shape}: profiler changed execution {counts}")
+            failures += 1
+        benches[shape] = (machine, sampler, set_config)
+
+    base_ms = _measure_overhead(benches, trials, ratios)
+    off_pct = _pooled(ratios, "off")
+    on_pct = _pooled(ratios, "on")
+    if args.smoke and (off_pct > _OFF_PATH_BUDGET
+                       or on_pct > _SAMPLING_BUDGET):
+        print(f"over budget on first pass (off {off_pct:+.2%}, "
+              f"on {on_pct:+.2%}); remeasuring with {2 * trials} "
+              f"trials")
+        base_ms = _measure_overhead(benches, 2 * trials, ratios)
+        off_pct = _pooled(ratios, "off")
+        on_pct = _pooled(ratios, "on")
+
+    print(f"{'shape':<28} {'base ms':>9} {'off %':>8} {'on %':>8} "
+          f"{'samples':>8}")
+    for shape in sorted(PROGRAMS):
+        machine, sampler, set_config = benches[shape]
+        set_config("on")
+        print(f"{shape:<28} {base_ms[shape]:>9.2f} "
+              f"{_median(ratios[shape]['off']) - 1.0:>8.2%} "
+              f"{_median(ratios[shape]['on']) - 1.0:>8.2%} "
+              f"{sampler.samples:>8}")
+        snapshots.append(machine.counters())
+
+        # Attribution sanity: the workload's own predicates must be
+        # where the samples land.
+        predicates = {rec["predicate"] for rec in sampler.attribution()}
+        expected = {"deterministic-recursion": "count/2",
+                    "list-processing": "nrev/2",
+                    "nondeterministic-search": "pair/2"}[shape]
+        if sampler.samples and expected not in predicates:
+            print(f"FAIL {shape}: {expected} missing from "
+                  f"attribution {sorted(predicates)}")
+            failures += 1
+
+    print(f"\noff-path overhead (installed, disabled): {off_pct:+.2%} "
+          f"(budget {_OFF_PATH_BUDGET:.0%})")
+    print(f"sampling overhead (interval 2048):        {on_pct:+.2%} "
+          f"(budget {_SAMPLING_BUDGET:.0%})")
+    if args.smoke and off_pct > _OFF_PATH_BUDGET:
+        print("FAIL: off-path overhead exceeds budget")
+        failures += 1
+    if args.smoke and on_pct > _SAMPLING_BUDGET:
+        print("FAIL: sampling overhead exceeds budget")
+        failures += 1
+
+    if sampler is not None:
+        print("\nlast shape's attribution:")
+        print(sampler.format())
+        folded = sampler.folded()
+        print(f"folded stacks ({len(folded)}):")
+        for line in folded[:6]:
+            print(f"  {line}")
+
+    if args.exposition:
+        from repro.obs import MetricsRegistry, render_prometheus
+        text = render_prometheus(MetricsRegistry.merge(*snapshots))
+        assert "educe_profiler_samples" in text
+        with open(args.exposition, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"\nmerged Prometheus exposition "
+              f"({len(text.splitlines())} lines) -> {args.exposition}")
+
+    print(f"\n{'PASS' if not failures else 'FAIL'}: sampled profiler "
+          f"overhead contract; see EXPERIMENTS.md E15")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--optimize", default="all",
@@ -119,7 +318,12 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: differential-check answers and "
                              "require an instruction-count reduction")
+    parser.add_argument("--profile", action="store_true",
+                        help="measure sampled-profiler overhead (E15) "
+                             "instead of the optimizer axis")
     args = parser.parse_args(argv)
+    if args.profile:
+        return profile_mode(args)
     levels = OPT_LEVELS if args.optimize == "all" else (args.optimize,)
 
     failures = 0

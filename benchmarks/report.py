@@ -6,6 +6,7 @@ diskless-workstation comparison) formatted like the originals, with the
 paper's numbers alongside where the text preserves them.
 
     python benchmarks/report.py [--scale S] [--jsonl PATH] [--prom PATH]
+    python benchmarks/report.py --diff a.jsonl b.jsonl
 
 Scale 1.0 (default) uses the paper's exact cardinalities; the full run
 takes a couple of minutes.  ``--jsonl PATH`` additionally runs a sample
@@ -15,6 +16,12 @@ JSON object per line — see docs/OBSERVABILITY.md) to PATH.
 ``--prom PATH`` writes the sample session's full metrics snapshot —
 counters plus latency histograms (latch waits, buffer miss stalls, WAL
 appends, ...) — in Prometheus text format to PATH.
+
+``--diff a.jsonl b.jsonl`` runs no experiments: it compares two JSONL
+exports record by record — ``query_profile`` lines keyed by goal,
+``wam_profile_pred`` lines (the sampled profiler's per-predicate
+attribution) keyed by predicate, ``wam_profile`` headers as totals —
+and prints every numeric metric that moved between the two runs.
 """
 
 import argparse
@@ -181,6 +188,98 @@ def profiles(scale: float, path: "str | None",
 
 
 # =====================================================================
+# JSONL diffs (--diff)
+# =====================================================================
+
+#: diffable record kinds: (kind, key field, section title)
+_DIFF_KINDS = (
+    ("query_profile", "goal", "query profiles (by goal)"),
+    ("wam_profile_pred", "predicate",
+     "sampled profiler attribution (by predicate)"),
+    ("wam_profile", "kind", "sampled profiler totals"),
+)
+
+
+def _load_records(path: str):
+    import json
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(obj, dict):
+                records.append(obj)
+    return records
+
+
+def _flatten_numeric(obj: dict, prefix: str = "") -> dict:
+    """Numeric leaves of a JSON object, dotted-key flattened."""
+    out = {}
+    for key, value in obj.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten_numeric(value, name + "."))
+        elif isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            out[name] = value
+    return out
+
+
+def diff_jsonl(path_a: str, path_b: str) -> int:
+    """Per-key numeric diff of two JSONL exports; returns the number
+    of changed metrics (the CLI exit status stays 0 either way —
+    a diff is information, not a failure)."""
+    recs_a, recs_b = _load_records(path_a), _load_records(path_b)
+    print(f"Diff {path_a} -> {path_b}")
+    changed = 0
+    for kind, key_field, title in _DIFF_KINDS:
+        # Last record wins per key: reruns append, and the latest
+        # export of a goal/predicate is the one being compared.
+        by_a = {r.get(key_field, "?"): r for r in recs_a
+                if r.get("kind") == kind}
+        by_b = {r.get(key_field, "?"): r for r in recs_b
+                if r.get("kind") == kind}
+        if not by_a and not by_b:
+            continue
+        print(f"\n== {title} ==")
+        hr()
+        for key in sorted(set(by_a) | set(by_b)):
+            a, b = by_a.get(key), by_b.get(key)
+            if a is None or b is None:
+                side = "only in " + (path_b if a is None else path_a)
+                print(f"  {key}  ({side})")
+                changed += 1
+                continue
+            flat_a = _flatten_numeric(a)
+            flat_b = _flatten_numeric(b)
+            rows = []
+            for metric in sorted(set(flat_a) | set(flat_b)):
+                va, vb = flat_a.get(metric, 0), flat_b.get(metric, 0)
+                if va == vb:
+                    continue
+                delta = vb - va
+                pct = f" ({delta / va:+.1%})" if va else ""
+                rows.append(f"    {metric:<28} {va:>12g} -> "
+                            f"{vb:>12g}  {delta:+g}{pct}")
+            if rows:
+                print(f"  {key}")
+                print("\n".join(rows))
+                changed += len(rows)
+        if not (set(by_a) | set(by_b)):
+            print("  (no records)")
+    if not changed:
+        print("\nno numeric differences")
+    else:
+        print(f"\n{changed} metric(s) changed")
+    return changed
+
+
+# =====================================================================
 # Table 3 — integrity checking
 # =====================================================================
 
@@ -254,7 +353,14 @@ def main() -> None:
     parser.add_argument("--prom", metavar="PATH", default=None,
                         help="also write the sample session's metrics "
                              "snapshot to PATH (Prometheus text format)")
+    parser.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                        default=None,
+                        help="compare two JSONL exports per goal/"
+                             "predicate and exit (no experiments run)")
     args = parser.parse_args()
+    if args.diff:
+        diff_jsonl(args.diff[0], args.diff[1])
+        return
     for probe in (args.jsonl, args.prom):
         if probe:
             # Fail on an unwritable path now, not after the full run.

@@ -35,6 +35,19 @@ A minimal shell over an :class:`~repro.EduceStar` session:
                   (semi-naive Datalog), the planner's reason, the
                   strata, and the magic-set adornment for the bound
                   arguments (docs/DATALOG.md)
+  ``:explain G``  the full EXPLAIN plan tree for goal G — strategy
+                  decision with cost inputs, magic adornment,
+                  strata/rules or compiled code shape, optimizer
+                  state; ``:explain analyze G`` also runs the goal
+                  and attaches measurements (answers, wall time,
+                  counter deltas, per-pass fixpoint delta rows);
+                  docs/OBSERVABILITY.md, "Explain plans"
+  ``:profile``    sampled WAM profiler (docs/OBSERVABILITY.md):
+                  ``:profile on [interval]`` starts sampling,
+                  ``:profile off`` stops, ``:profile`` prints the
+                  per-predicate attribution table, ``:profile
+                  folded F`` writes flamegraph.pl-compatible
+                  folded stacks to F, ``:profile reset`` clears
   ``:verify P``   static analysis of predicate P (``name/arity``):
                   structural + abstract verification of its compiled
                   code, first-argument partitions, dead clauses
@@ -268,6 +281,43 @@ def command(session, line: str, interactive: bool):
             print(f"optimize {session.optimize} ({opt})")
     elif cmd == ":plan" and arg:
         print(session.datalog.explain(arg.rstrip(".")))
+    elif cmd == ":explain" and arg:
+        head, _, rest = arg.partition(" ")
+        if head == "analyze" and rest:
+            print(session.analyze(rest.strip().rstrip(".")).format())
+        else:
+            print(session.explain(arg.rstrip(".")).format())
+    elif cmd == ":profile":
+        sub, _, rest = arg.partition(" ")
+        rest = rest.strip()
+        if sub == "on":
+            interval = int(rest) if rest.isdigit() else None
+            prof = session.enable_profiling(interval)
+            print(f"profiling on (interval {prof.interval})")
+        elif sub == "off":
+            session.disable_profiling()
+            print("profiling off")
+        elif sub == "reset":
+            if session.profiler is not None:
+                session.profiler.reset()
+            print("profile cleared")
+        elif sub == "folded" and rest:
+            if session.profiler is None:
+                print("no profiler (:profile on first)")
+            else:
+                lines = session.profiler.folded()
+                with open(rest, "a", encoding="utf-8") as f:
+                    for fold in lines:
+                        f.write(fold + "\n")
+                print(f"appended {len(lines)} folded stacks to {rest}")
+        elif sub == "":
+            if session.profiler is None:
+                print("no profiler (:profile on first)")
+            else:
+                print(session.profiler.format(
+                    cost_model=session.cost_model))
+        else:
+            print("usage: :profile [on [interval]|off|reset|folded F]")
     elif cmd == ":verify" and arg:
         from repro.analysis import describe_procedure
         name, slash, arity_text = arg.rpartition("/")

@@ -162,6 +162,18 @@ class DynamicLoader:
             self.cache_invalidated_entries += dropped
             return dropped
 
+    def cached_blocks(self, name: str, arity: int) -> list:
+        """Snapshot of this procedure's live cache entries, for EXPLAIN.
+
+        Returns ``[(key, code), ...]`` pairs where *key* is the full
+        cache key ``(name, arity, version, pattern, depth, opt_level)``.
+        Read-only: no counters move and the cache is not touched beyond
+        holding the latch for a consistent copy.
+        """
+        with self._latch:
+            return [(key, code) for key, code in self._cache.items()
+                    if key[0] == name and key[1] == arity]
+
     # ------------------------------------------------------------ rules path
 
     def _load_rules(self, machine, name: str, arity: int,

@@ -398,8 +398,14 @@ class ExternalStore:
                 })
             proc = self._apply_rules(name, arity, payloads)
             self.datalog_rules.set((name, arity), clauses)
+            # The surface clauses ride the redo record so replay — WAL
+            # recovery and replica apply alike — restores the rulebase,
+            # keeping the bottom-up path available after a crash or on
+            # a follower.  (A checkpoint alone still drops it: surface
+            # terms are live-session state, not part of the image.)
             self._log({"op": "rules", "name": name, "arity": arity,
                        "clauses": payloads,
+                       "surface": list(clauses),
                        "ext": self._ext_functors(
                            p["code"] for p in payloads)})
 
@@ -604,7 +610,7 @@ class ExternalStore:
             self._apply_assert_rule(name, arity, payload)
             self.datalog_rules.add((name, arity), clause)
             self._log({"op": "assert_rule", "name": name, "arity": arity,
-                       "clause": payload,
+                       "clause": payload, "surface": clause,
                        "ext": self._ext_functors([payload["code"]])})
 
     def _apply_assert_fact(self, name: str, arity: int,
@@ -760,6 +766,13 @@ class ExternalStore:
         if op == "rules":
             self._apply_rules(record["name"], record["arity"],
                               record["clauses"])
+            # Records carry the surface clauses (older logs may not):
+            # replaying one re-tracks the procedure, so the bottom-up
+            # evaluator works after recovery and on replicas.
+            surface = record.get("surface")
+            if surface is not None:
+                self.datalog_rules.set(
+                    (record["name"], record["arity"]), surface)
         elif op == "source":
             self._apply_source(record["name"], record["arity"],
                                record["clauses"])
@@ -770,10 +783,19 @@ class ExternalStore:
         elif op == "assert_rule":
             self._apply_assert_rule(record["name"], record["arity"],
                                     record["clause"])
+            surface = record.get("surface")
+            if surface is not None:
+                # add() only extends procedures the rulebase tracks —
+                # identical to the live assert path's semantics.
+                self.datalog_rules.add(
+                    (record["name"], record["arity"]), surface)
         elif op == "assert_fact":
             self._apply_assert_fact(record["name"], record["arity"],
                                     tuple(record["values"]))
         elif op == "retract":
+            # Mirror the live path: retraction stops tracking the
+            # procedure (it goes back to the WAM).
+            self.datalog_rules.drop((record["name"], record["arity"]))
             self._apply_retract(record["name"], record["arity"],
                                 record["clause_id"])
         elif op == "drop":

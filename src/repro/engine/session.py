@@ -30,7 +30,7 @@ from ..edb.loader import DynamicLoader
 from ..edb.preunify import PreUnifier
 from ..edb.store import ExternalStore
 from ..obs import MetricsRegistry, QueryProfile, Tracer
-from ..terms import Struct, Term
+from ..terms import Atom, Struct, Term, deref
 from ..wam.compiler import split_clause
 from ..wam.machine import Machine, Procedure, Solution
 from .stats import CostModel, Measurement, measure
@@ -66,8 +66,15 @@ class EduceStar:
                                     index=index, verify=verify,
                                     optimizer=self.machine.optimizer)
         self.machine.unknown_handler = self._edb_trap
+        # Gate fallbacks (wam_opt.reject) land on the store's flight
+        # recorder, next to the WAL/pager events they interleave with.
+        self.machine.optimizer.events = self.store.events
         self.cost_model = cost_model or CostModel()
         self.parsed_chars = 0
+        self.explain_queries = 0
+        self.analyze_queries = 0
+        #: sampled WAM profiler, installed by :meth:`enable_profiling`
+        self.profiler = None
 
         # Observability (repro.obs): one registry over every counter
         # source, one tracer shared by every layer.  Tracing is off by
@@ -239,6 +246,167 @@ class EduceStar:
         assert self.last_profile is not None
         return self.last_profile
 
+    # --------------------------------------------------- EXPLAIN / ANALYZE
+
+    def explain(self, goal) -> "ExplainPlan":
+        """EXPLAIN *goal* without running it (docs/OBSERVABILITY.md).
+
+        The plan tree names the strategy the planner would pick and why
+        (with its cost inputs), the magic-set adornment and evaluable
+        strata/rules for a bottom-up goal, or the procedure's compiled
+        code shape (fusions, ``switch_on_arg`` guards, choice
+        instructions) for a top-down one, plus the session's optimizer
+        state.  Nothing is evaluated and no EDB pages move beyond the
+        planner's own row-count lookups.
+        """
+        from ..obs.explain import ExplainPlan, PlanNode
+        self.explain_queries += 1
+        label = goal if isinstance(goal, str) else str(goal)
+        root = PlanNode("query", label)
+        decision = self.datalog.explain_plan(goal)
+        if decision is not None:
+            root.attrs["strategy"] = decision.attrs.get("strategy")
+            root.attrs["reason"] = decision.attrs.get("reason")
+            root.add(decision)
+            if decision.attrs.get("strategy") != "bottomup":
+                self._explain_procedure(root, goal)
+        else:
+            root.attrs["strategy"] = "topdown"
+            root.attrs["reason"] = ("not a stored rules procedure "
+                                    "(WAM top-down)")
+            self._explain_procedure(root, goal)
+        root.add(self._optimizer_node())
+        return ExplainPlan(goal=label, mode="explain", root=root)
+
+    def analyze(self, goal, limit: Optional[int] = None) -> "ExplainPlan":
+        """EXPLAIN *goal*, then run it and attach measurements.
+
+        The plan gains ``actual`` entries: answers, wall time, counter
+        deltas, the strategy that *executed* (cross-checkable against
+        the plan's prediction), and — when the fixpoint engine ran —
+        per-pass delta row counts on each stratum/rule node, whose sum
+        equals the fixpoint's total derived rows.
+        """
+        from ..obs.explain import attach_fixpoint
+        plan = self.explain(goal)
+        plan.mode = "analyze"
+        self.analyze_queries += 1
+        before = self.metrics.snapshot()
+        start = time.perf_counter()
+        answers = sum(1 for _ in self.solve(goal, limit=limit))
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        delta = self.metrics.diff(self.metrics.snapshot(), before)
+        executed = ("bottomup" if delta.get("datalog_bottomup")
+                    else "topdown")
+        actual = plan.root.actual
+        actual["executed"] = executed
+        actual["answers"] = answers
+        actual["wall_ms"] = round(wall_ms, 3)
+        for key in ("instr_count", "data_refs", "edb_fetches",
+                    "cache_hits", "pages_read", "datalog_iterations",
+                    "datalog_facts_derived", "datalog_magic_facts",
+                    "datalog_edb_rows"):
+            if delta.get(key):
+                actual[key] = delta[key]
+        if executed == "bottomup" and self.datalog.last_stats is not None:
+            stats = self.datalog.last_stats
+            attach_fixpoint(plan, stats.passes, stats.facts)
+        return plan
+
+    def _goal_indicator(self, goal) -> Optional[Tuple[str, int]]:
+        if isinstance(goal, str):
+            try:
+                term = self.machine.reader.read_term(goal)
+            except Exception:
+                return None
+        else:
+            term = goal
+        term = deref(term)
+        if isinstance(term, Atom):
+            return (term.name, 0)
+        if isinstance(term, Struct):
+            return term.indicator
+        return None
+
+    def _explain_procedure(self, root, goal) -> None:
+        """Add the top-down ``procedure`` node: where the goal's
+        predicate lives (main memory vs EDB) and the shape of the
+        compiled code the WAM would execute, including every block the
+        loader currently caches for it (one per call pattern/level)."""
+        from ..obs.explain import PlanNode, code_shape
+        ind = self._goal_indicator(goal)
+        if ind is None:
+            root.add(PlanNode("procedure", "?",
+                              note="goal shape not a single predicate "
+                                   "call"))
+            return
+        name, arity = ind
+        pnode = PlanNode("procedure", f"{name}/{arity}")
+        proc = self.machine.procedure(name, arity)
+        stored = self.store.lookup(name, arity)
+        if proc is not None and proc.kind != "external":
+            pnode.attrs["source"] = "main-memory"
+            pnode.attrs["kind"] = proc.kind
+            pnode.attrs["clauses"] = len(proc.clauses)
+            if proc.code:
+                pnode.attrs.update(code_shape(proc.code))
+        elif stored is not None:
+            pnode.attrs["source"] = "edb"
+            pnode.attrs["mode"] = stored.mode
+            pnode.attrs["version"] = stored.version
+            if stored.mode == "facts":
+                pnode.attrs["rows"] = len(stored.relation)
+            for key, code in self.loader.cached_blocks(name, arity):
+                _n, _a, version, pattern, depth, opt_level = key
+                # The pattern is the pre-unifier's bound-argument
+                # summary map; "free" means every argument was unbound.
+                label = ",".join(f"{pos}:{summary[0]}"
+                                 for pos, summary in pattern) or "free"
+                pnode.add(PlanNode(
+                    "cached_block", label,
+                    version=version, depth=depth, opt_level=opt_level,
+                    **code_shape(code)))
+        elif proc is not None:
+            pnode.attrs["source"] = "builtin"
+            pnode.attrs["kind"] = proc.kind
+        else:
+            pnode.attrs["source"] = "undefined"
+        root.add(pnode)
+
+    def _optimizer_node(self):
+        from ..obs.explain import PlanNode
+        opt = self.machine.optimizer
+        node = PlanNode("optimizer", opt.level, **opt.counters())
+        if opt.last_reject is not None:
+            procedure, rule, offset = opt.last_reject
+            node.attrs["last_reject"] = f"{procedure}:{rule}@{offset}"
+        return node
+
+    # ------------------------------------------------------------ profiling
+
+    def enable_profiling(self, interval: Optional[int] = None):
+        """Install (if needed) and enable the sampled WAM profiler.
+
+        Samples every *interval* executed instructions (default
+        :data:`~repro.obs.profiler.DEFAULT_INTERVAL`); attribution
+        accumulates across queries until :meth:`disable_profiling` or
+        ``profiler.reset()``.  Returns the profiler.
+        """
+        from ..obs.profiler import DEFAULT_INTERVAL, WamProfiler
+        if self.profiler is None:
+            self.profiler = WamProfiler(
+                interval=interval or DEFAULT_INTERVAL)
+            self.profiler.install(self.machine)
+        elif interval is not None:
+            self.profiler.interval = int(interval)
+        self.profiler.enable()
+        return self.profiler
+
+    def disable_profiling(self) -> None:
+        """Stop sampling; accumulated attribution stays readable."""
+        if self.profiler is not None:
+            self.profiler.disable()
+
     def solve_once(self, goal) -> Optional[Solution]:
         if isinstance(goal, str):
             self.parsed_chars += len(goal)
@@ -316,11 +484,19 @@ class EduceStar:
 
     # ------------------------------------------------------------- counters
 
+    def local_counters(self) -> dict:
+        """Only the counters the session owns itself — what a service
+        registry attaches alongside the machine/loader/datalog sources
+        it already has, without double counting them."""
+        return {"parsed_chars": self.parsed_chars,
+                "explain_queries": self.explain_queries,
+                "analyze_queries": self.analyze_queries}
+
     def counters(self) -> dict:
         merged = dict(self.machine.counters())
         merged.update(self.loader.counters())
         merged.update(self.datalog.counters())
-        merged["parsed_chars"] = self.parsed_chars
+        merged.update(self.local_counters())
         return merged
 
     def io_counters(self) -> dict:

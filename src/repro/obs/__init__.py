@@ -12,6 +12,13 @@ Three pieces, designed to be threaded through every layer of Educe*:
   disabled (:data:`~repro.obs.tracing.NULL_TRACER`).
 * :class:`~repro.obs.profile.QueryProfile` — per-query span tree +
   counter delta + simulated-1990-ms breakdown, exportable as JSON lines.
+* :class:`~repro.obs.explain.ExplainPlan` /
+  :class:`~repro.obs.explain.PlanNode` — EXPLAIN/ANALYZE plan trees
+  (strategy decision, magic adornment, strata/rules, optimizer code
+  shape) rendered as text and JSON.
+* :class:`~repro.obs.profiler.WamProfiler` — sampled instruction-poll
+  profiler attributing instructions/data_refs/simulated-ms to predicate
+  indicators, with folded-stack (flamegraph) export.
 
 The counter glossary, span taxonomy and a worked profile-reading
 example live in ``docs/OBSERVABILITY.md``; ``tests/test_docs.py`` keeps
@@ -27,22 +34,29 @@ from .registry import (DEFAULT_BOUNDARIES, DEFAULT_GAUGE_KEYS, Histogram,
 from .threadlocal import ThreadLocalCounters
 from .tracing import NULL_TRACER, NullTracer, Span, Tracer
 from .events import NULL_EVENTS, EventRing
+from .explain import ExplainPlan, PlanNode, attach_fixpoint, code_shape
 from .exposition import render_prometheus
 from .profile import QueryProfile, write_json_lines
+from .profiler import WamProfiler
 
 __all__ = [
     "DEFAULT_BOUNDARIES",
     "DEFAULT_GAUGE_KEYS",
     "EventRing",
+    "ExplainPlan",
     "Histogram",
     "MetricsRegistry",
     "NULL_EVENTS",
     "NULL_TRACER",
     "NullTracer",
+    "PlanNode",
     "Span",
     "ThreadLocalCounters",
     "Tracer",
     "QueryProfile",
+    "WamProfiler",
+    "attach_fixpoint",
+    "code_shape",
     "merge_histogram_maps",
     "render_prometheus",
     "write_json_lines",

@@ -147,10 +147,13 @@ class Tracer:
         self._diff = diff or _plain_diff
         #: current trace identity.  The query service mints a trace id
         #: per ticket at ``submit()`` and installs it here for the
-        #: extent of the ticket's execution, so every *root* span the
-        #: session records while the ticket runs is stamped with it —
-        #: one id connects the service-side ticket trace to the
-        #: session-side query spans.
+        #: extent of the ticket's execution, so every span the session
+        #: records while the ticket runs is stamped with it — one id
+        #: connects the service-side ticket trace to the session-side
+        #: query spans.  Stamping *every* span (not just roots) keeps
+        #: spans exported standalone — JSONL lines, ``datalog.evaluate``
+        #: roots drained by a replica's service — attributable to their
+        #: owning ticket.
         self.trace_id: Optional[str] = None
 
     # ------------------------------------------------------------------ API
@@ -172,7 +175,7 @@ class Tracer:
         parent = self._stack[-1] if self._stack else None
         span = Span(name, self._next_id,
                     parent.span_id if parent else None, attrs)
-        if parent is None and self.trace_id is not None:
+        if self.trace_id is not None:
             span.attrs.setdefault("trace_id", self.trace_id)
         self._next_id += 1
         span.start_s = time.perf_counter()

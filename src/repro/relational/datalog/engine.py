@@ -59,6 +59,9 @@ class DatalogEngine:
         self._analysis: Optional[Analysis] = None
         self._analysis_key: Optional[Tuple[int, int]] = None
         self.last_decision: Optional[Decision] = None
+        #: fixpoint stats of the most recent bottom-up evaluation
+        #: (ANALYZE folds its per-pass delta counts into the plan tree)
+        self.last_stats: Optional[FixpointStats] = None
 
         self.queries = 0
         self.bottomup = 0
@@ -235,6 +238,7 @@ class DatalogEngine:
                     totals = evaluator.run()
                     answers = totals.get(ind, set())
                 self._account(evaluator.stats)
+                self.last_stats = evaluator.stats
                 if span is not None:
                     span.attrs.update(
                         iterations=evaluator.stats.iterations,
@@ -337,6 +341,82 @@ class DatalogEngine:
             elif not bound:
                 lines.append("adornment: none (no bound arguments)")
         return "\n".join(lines)
+
+    def explain_plan(self, goal):
+        """EXPLAIN subtree for a stored-rules goal — the strategy
+        decision with its cost inputs, the magic adornment, and the
+        evaluable strata/rules exactly as a bottom-up run would see
+        them.  Returns a :class:`~repro.obs.explain.PlanNode` or None
+        when the goal is not routable (wrong shape, or not a stored
+        rules procedure); nothing is evaluated."""
+        from ...obs.explain import PlanNode
+        spec = self._goal_spec(goal)
+        if spec is None:
+            return None
+        ind, items, _varmap = spec
+        if ind not in self.store.datalog_rules:
+            return None
+        analysis = self.analysis()
+        decision = choose(analysis, ind, self.store, self.mode,
+                          self.min_rows)
+        node = PlanNode("decision", indicator_str(ind),
+                        strategy=decision.strategy,
+                        reason=decision.reason,
+                        mode=self.mode, min_rows=self.min_rows,
+                        base_rows=decision.base_rows,
+                        evaluable=decision.evaluable,
+                        recursive=decision.recursive)
+        if decision.blocked:
+            node.attrs["blocked"] = decision.blocked
+        if decision.strategy != "bottomup":
+            return node
+
+        # Mirror _solve_bottom_up's program construction so the plan
+        # names exactly what an evaluation would run.
+        deps = analysis.dependencies(ind)
+        rules = {d: analysis.rules[d] for d in deps if d in analysis.rules}
+        strata = {d: analysis.strata[d] for d in rules}
+        bound = {pos for pos, (kind, _v) in enumerate(items)
+                 if kind == "const"}
+        consts = tuple((pos, value) for pos, (kind, value)
+                       in enumerate(items) if kind == "const")
+        program = None
+        if self.magic and bound:
+            program = rewrite(rules, ind, bound, consts)
+        if program is not None:
+            node.add(PlanNode("magic", program.adornment,
+                              adornment=program.adornment,
+                              magic_preds=len(program.magic_preds),
+                              bound_args=len(bound)))
+            rules, strata = program.rules, program.strata
+        elif bound and self.magic:
+            node.add(PlanNode(
+                "magic", "none", bound_args=len(bound),
+                note="rewrite abandoned (rewritten program "
+                     "unstratifiable)"))
+        else:
+            node.add(PlanNode("magic", "none", bound_args=len(bound),
+                              note="no bound arguments"))
+
+        by_level: Dict[int, List[Indicator]] = {}
+        for d, level in strata.items():
+            by_level.setdefault(level, []).append(d)
+        for level in sorted(by_level):
+            members = sorted(by_level[level])
+            scc = set(members)
+            snode = node.add(PlanNode(
+                "stratum", str(level),
+                members=",".join(indicator_str(m) for m in members)))
+            for d in members:
+                for i, rule in enumerate(rules[d]):
+                    body = ",".join(
+                        ("\\+" if lit.negated else "")
+                        + indicator_str(lit.pred) for lit in rule.body)
+                    snode.add(PlanNode(
+                        "rule", f"{indicator_str(d)}#{i}", body=body,
+                        recursive=any(not lit.negated and lit.pred in scc
+                                      for lit in rule.body)))
+        return node
 
     # ------------------------------------------------------------ telemetry
 

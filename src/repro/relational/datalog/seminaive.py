@@ -38,11 +38,28 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..algebra import CrossJoin, Filter, LookupJoin, Plan, Rows, execute
 from ..planner import best_access_path
-from .rules import Indicator, Literal, Rule, V
+from .rules import Indicator, Literal, Rule, V, indicator_str
 
-__all__ = ["SemiNaiveEvaluator", "FixpointStats"]
+__all__ = ["SemiNaiveEvaluator", "FixpointStats", "PassStats"]
 
 ConstItems = Tuple[Tuple[int, Any], ...]
+
+
+@dataclass
+class PassStats:
+    """One semi-naive pass: how many rows entered the totals, credited
+    per rule (ANALYZE renders these; docs/OBSERVABILITY.md, "Explain
+    plans").  Rule ids are ``head/arity#i`` with *i* the rule's position
+    in the evaluated program's rule list for that head."""
+
+    #: stratum ordinal in evaluation order (bottom level first)
+    stratum: int
+    #: pass number within the stratum (0 = seed pass)
+    index: int
+    #: rows merged into the totals by this pass (all predicates)
+    delta_rows: int
+    #: new rows credited to the rule that first derived them
+    per_rule: Dict[str, int]
 
 
 @dataclass
@@ -60,6 +77,8 @@ class FixpointStats:
     edb_rows: int = 0
     #: per-stratum iteration counts, bottom stratum first
     per_stratum: List[int] = field(default_factory=list)
+    #: per-pass delta row counts (their ``delta_rows`` sum to ``facts``)
+    passes: List[PassStats] = field(default_factory=list)
 
 
 class SemiNaiveEvaluator:
@@ -96,31 +115,46 @@ class SemiNaiveEvaluator:
 
     def _eval_stratum(self, members: Sequence[Indicator]) -> None:
         scc = set(members)
-        all_rules = [(ind, rule) for ind in members
-                     for rule in self.rules[ind]]
+        ordinal = len(self.stats.per_stratum)
+        all_rules = [(ind, rule, f"{indicator_str(ind)}#{i}")
+                     for ind in members
+                     for i, rule in enumerate(self.rules[ind])]
         recursive = []
-        for ind, rule in all_rules:
+        for ind, rule, rid in all_rules:
             positions = [i for i, lit in enumerate(rule.body)
                          if not lit.negated and lit.pred in scc]
             if positions:
-                recursive.append((ind, rule, positions))
+                recursive.append((ind, rule, rid, positions))
 
         iterations = 0
         # Seed pass: every rule against the (initially empty) totals.
+        # Per-rule accounting credits a row to the first rule that
+        # derived it (the membership checks that dedupe evaluation also
+        # guarantee single crediting).
         delta: Dict[Indicator, Set[tuple]] = {}
-        for ind, rule in all_rules:
+        per_rule: Dict[str, int] = {}
+        for ind, rule, rid in all_rules:
             total = self.totals[ind]
+            dset = delta.get(ind, ())
+            added = 0
             for row in self._eval_rule(rule, scc, None, None):
-                if row not in total:
-                    delta.setdefault(ind, set()).add(row)
-        self._merge(delta)
+                if row not in total and row not in dset:
+                    dset = delta.setdefault(ind, set())
+                    dset.add(row)
+                    added += 1
+            if added:
+                per_rule[rid] = per_rule.get(rid, 0) + added
+        self.stats.passes.append(
+            PassStats(ordinal, 0, self._merge(delta), per_rule))
         iterations += 1
 
         while any(delta.values()):
             new: Dict[Indicator, Set[tuple]] = {}
-            for ind, rule, positions in recursive:
+            per_rule = {}
+            for ind, rule, rid, positions in recursive:
                 total = self.totals[ind]
                 pending = new.get(ind, ())
+                added = 0
                 for pos in positions:
                     delta_rows = delta.get(rule.body[pos].pred)
                     if not delta_rows:
@@ -130,17 +164,24 @@ class SemiNaiveEvaluator:
                         if row not in total and row not in pending:
                             pending = new.setdefault(ind, set())
                             pending.add(row)
-            self._merge(new)
+                            added += 1
+                if added:
+                    per_rule[rid] = per_rule.get(rid, 0) + added
+            self.stats.passes.append(
+                PassStats(ordinal, iterations, self._merge(new), per_rule))
             delta = new
             iterations += 1
 
         self.stats.iterations += iterations
         self.stats.per_stratum.append(iterations)
 
-    def _merge(self, new: Dict[Indicator, Set[tuple]]) -> None:
+    def _merge(self, new: Dict[Indicator, Set[tuple]]) -> int:
+        merged = 0
         for ind, rows in new.items():
             self.totals[ind] |= rows
-            self.stats.facts += len(rows)
+            merged += len(rows)
+        self.stats.facts += merged
+        return merged
 
     # ------------------------------------------------------ rule evaluation
 

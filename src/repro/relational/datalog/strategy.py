@@ -46,6 +46,9 @@ class Decision:
     recursive: bool = False
     blocked: Optional[str] = None
     base_rows: int = 0
+    #: cost inputs that drove the choice (EXPLAIN renders these)
+    mode: str = "auto"
+    min_rows: int = DEFAULT_MIN_ROWS
     #: evaluable strata of the goal's dependency closure, bottom first
     strata: List[List[Indicator]] = field(default_factory=list)
     #: query adornment (filled in by the engine when magic applies)
@@ -62,11 +65,13 @@ def choose(analysis: Analysis, ind: Indicator, store,
            min_rows: int = DEFAULT_MIN_ROWS) -> Decision:
     """Pick the strategy for a goal on *ind*."""
     if mode == "off":
-        return Decision(ind, "topdown", "datalog routing disabled")
+        return Decision(ind, "topdown", "datalog routing disabled",
+                        mode=mode, min_rows=min_rows)
     if ind not in analysis.evaluable:
         blocked = analysis.blocked.get(
             ind, "not a stored rules procedure")
-        return Decision(ind, "topdown", blocked, blocked=blocked)
+        return Decision(ind, "topdown", blocked, blocked=blocked,
+                        mode=mode, min_rows=min_rows)
 
     deps = analysis.dependencies(ind)
     recursive = bool(deps & analysis.recursive)
@@ -82,15 +87,16 @@ def choose(analysis: Analysis, ind: Indicator, store,
             ind, "topdown",
             "non-recursive: one top-down pass answers it",
             evaluable=True, recursive=False, base_rows=base_rows,
-            strata=strata)
+            strata=strata, mode=mode, min_rows=min_rows)
     if mode != "force" and base_rows < min_rows:
         return Decision(
             ind, "topdown",
             f"small EDB ({base_rows} rows < {min_rows}): tuple-at-a-time "
             "wins on constant factors",
             evaluable=True, recursive=True, base_rows=base_rows,
-            strata=strata)
+            strata=strata, mode=mode, min_rows=min_rows)
     reason = (f"recursive over {base_rows} EDB rows"
               if mode != "force" else "forced bottom-up")
     return Decision(ind, "bottomup", reason, evaluable=True,
-                    recursive=True, base_rows=base_rows, strata=strata)
+                    recursive=True, base_rows=base_rows, strata=strata,
+                    mode=mode, min_rows=min_rows)

@@ -63,6 +63,11 @@ class ReplicaSet:
                                     workers=primary_workers,
                                     queue_size=queue_size,
                                     **service_kwargs)
+        #: service configuration (tracing, explain, session knobs) is
+        #: cluster-wide: replicas attached now or later get the same
+        #: kwargs as the primary, so e.g. replica-drained spans carry
+        #: trace ids exactly like primary ones.
+        self._service_kwargs = dict(service_kwargs)
         self.primary_dead = False
         self._rr = itertools.count()
         self._lock = threading.RLock()
@@ -92,11 +97,13 @@ class ReplicaSet:
                        **replica_kwargs) -> Replica:
         """Bootstrap a new follower of the current primary and wire its
         metrics into the primary service's registry."""
+        kwargs = dict(self._service_kwargs)
+        kwargs.update(replica_kwargs)
         replica = Replica(name, self.primary_path,
                           os.path.join(self.directory, name),
                           faults=faults,
                           primary_state=self._primary_state,
-                          **replica_kwargs)
+                          **kwargs)
         with self._lock:
             self.replicas.append(replica)
         self.primary.metrics.attach(replica, gauges=replica.gauge_keys())

@@ -42,6 +42,7 @@ import threading
 import time
 import uuid
 from collections import deque
+from types import SimpleNamespace
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple, Union)
 
@@ -76,11 +77,17 @@ class QueryTicket:
     """
 
     def __init__(self, ticket_id: int, goal: Goal,
-                 limit: Optional[int], deadline: Optional[float]):
+                 limit: Optional[int], deadline: Optional[float],
+                 explain: bool = False):
         self.id = ticket_id
         self.goal = goal
         self.limit = limit
         self.state = _QUEUED
+        #: capture an EXPLAIN plan on the worker before execution
+        self.want_explain = explain
+        #: the captured :class:`~repro.obs.explain.ExplainPlan` (string
+        #: goals only; None for callables or when capture failed)
+        self.explain = None
         #: store ``mutation_epoch`` observed under the read lock — the
         #: query saw exactly the first ``store_epoch`` mutations.
         self.store_epoch: Optional[int] = None
@@ -181,6 +188,9 @@ class QueryService:
                  recent_tickets: int = 256,
                  trace_capacity: int = 64,
                  read_only: bool = False,
+                 explain: bool = False,
+                 profiling: bool = False,
+                 profile_interval: Optional[int] = None,
                  **session_kwargs):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -196,6 +206,9 @@ class QueryService:
         #: ticket; with both off the tracing path costs nothing.
         self.trace_tickets = bool(tracing)
         self.slow_query_ms = slow_query_ms
+        #: capture an EXPLAIN plan on every string-goal ticket
+        #: (per-submit ``explain=`` overrides this default)
+        self.explain_tickets = bool(explain)
         #: the admin session is built first: it creates the store when
         #: none is given and is the single session used for updates.
         self.admin = EduceStar(store=store, **session_kwargs)
@@ -263,6 +276,10 @@ class QueryService:
             # Strategy-planner decisions and fixpoint work, per worker
             # (counters + the fixpoint-iteration histogram).
             self.metrics.attach(session.datalog)
+            # Session-local counters (explain/analyze queries, parsed
+            # chars) — not part of the three sources above.
+            self.metrics.attach(
+                SimpleNamespace(counters=session.local_counters))
 
         self._threads = [
             threading.Thread(target=self._worker_loop,
@@ -272,18 +289,25 @@ class QueryService:
         ]
         for thread in self._threads:
             thread.start()
+        if profiling:
+            self.enable_profiling(profile_interval)
 
     # ------------------------------------------------------------ submission
 
     def submit(self, goal: Goal, limit: Optional[int] = None,
-               timeout: Optional[float] = None) -> QueryTicket:
+               timeout: Optional[float] = None,
+               explain: Optional[bool] = None) -> QueryTicket:
         """Enqueue one query; returns its ticket.
 
         *timeout* is the query's deadline in seconds, measured from
-        submission (queue wait counts).  Raises :exc:`ServiceClosed`
-        after shutdown began, :exc:`ServiceSaturated` when the bounded
-        queue is full."""
-        return self._admit([(goal, limit, timeout)])[0]
+        submission (queue wait counts).  *explain* overrides the
+        service-wide explain-on-submit default for this ticket: the
+        worker captures an EXPLAIN plan (``ticket.explain``) right
+        before execution, under the same read lock, so the plan names
+        the planner state the query actually ran against.  Raises
+        :exc:`ServiceClosed` after shutdown began,
+        :exc:`ServiceSaturated` when the bounded queue is full."""
+        return self._admit([(goal, limit, timeout)], explain=explain)[0]
 
     def submit_many(self, goals: Sequence[Goal],
                     limit: Optional[int] = None,
@@ -298,9 +322,11 @@ class QueryService:
         return self.submit(goal, limit=limit, timeout=timeout).result()
 
     def _admit(self, specs: Iterable[Tuple[Goal, Optional[int],
-                                           Optional[float]]]
-               ) -> List[QueryTicket]:
+                                           Optional[float]]],
+               explain: Optional[bool] = None) -> List[QueryTicket]:
         specs = list(specs)
+        want_explain = (self.explain_tickets if explain is None
+                        else bool(explain))
         with self._submit_lock:
             if self._closed:
                 self._stats.add("service_rejected", len(specs))
@@ -319,7 +345,8 @@ class QueryService:
             now = time.monotonic()
             for goal, limit, timeout in specs:
                 deadline = None if timeout is None else now + timeout
-                ticket = QueryTicket(next(self._ids), goal, limit, deadline)
+                ticket = QueryTicket(next(self._ids), goal, limit,
+                                     deadline, explain=want_explain)
                 ticket.trace_id = f"tk-{self._service_id}-{ticket.id}"
                 ticket._submitted_perf = time.perf_counter()
                 with self._gauge_lock:
@@ -515,6 +542,13 @@ class QueryService:
             # here pins the query to one point of the mutation order.
             with self.store.reading():
                 ticket.store_epoch = self.store.mutation_epoch
+                if ticket.want_explain and isinstance(ticket.goal, str):
+                    # Same lock hold as the execution: the plan names
+                    # the planner state this very query runs against.
+                    try:
+                        ticket.explain = session.explain(ticket.goal)
+                    except Exception:
+                        ticket.explain = None
                 if callable(ticket.goal):
                     value = ticket.goal(session)
                 else:
@@ -667,6 +701,55 @@ class QueryService:
             "slow_queries": list(self._slow),
             "events": self.events.tail(events),
         }
+
+    # ------------------------------------------------------------- profiling
+
+    def enable_profiling(self, interval: Optional[int] = None) -> None:
+        """Install and enable one sampled WAM profiler per worker
+        session (per-machine instances — the merged snapshot sums their
+        ``profiler_*`` counters without double counting)."""
+        for session in self.sessions:
+            session.enable_profiling(interval)
+
+    def disable_profiling(self) -> None:
+        for session in self.sessions:
+            session.disable_profiling()
+
+    def profile_report(self) -> Dict[str, Any]:
+        """Merged per-predicate attribution across every worker's
+        profiler — same shape as
+        :meth:`~repro.obs.profiler.WamProfiler.report`."""
+        preds: Dict[str, Dict[str, Any]] = {}
+        folded: Dict[str, int] = {}
+        counters: Dict[str, int] = {}
+        interval = None
+        for session in self.sessions:
+            prof = session.profiler
+            if prof is None:
+                continue
+            if interval is None:
+                interval = prof.interval
+            for rec in prof.attribution(session.cost_model):
+                agg = preds.get(rec["predicate"])
+                if agg is None:
+                    preds[rec["predicate"]] = dict(rec)
+                    continue
+                for key, val in rec.items():
+                    if key != "predicate":
+                        agg[key] += val
+            for line in prof.folded():
+                stack, _, n = line.rpartition(" ")
+                folded[stack] = folded.get(stack, 0) + int(n)
+            for key, val in prof.counters().items():
+                counters[key] = counters.get(key, 0) + val
+        records = sorted(preds.values(),
+                         key=lambda r: (-r["excl_instr"],
+                                        -r["incl_instr"], r["predicate"]))
+        return {"kind": "wam_profile", "interval": interval,
+                "predicates": records,
+                "folded": [f"{stack} {n}"
+                           for stack, n in sorted(folded.items())],
+                "counters": counters}
 
     def exposition(self) -> str:
         """The service's merged snapshot in Prometheus text format."""

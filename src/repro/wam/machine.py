@@ -247,6 +247,12 @@ class Machine:
         self.poll_hook: Optional[Callable] = None
         self.poll_interval = 2048
 
+        # Sampled profiler (repro.obs.profiler): when installed *and*
+        # active, :meth:`_run` chains its sampler onto the poll hook.
+        # The disabled path costs one attribute check per _run entry —
+        # the dispatch loop itself is untouched.
+        self.profiler = None
+
         self._dispatch = self._build_dispatch()
         self._nil_id = self.dictionary.intern("[]", 0)
         self._metacall_cache: Dict[str, Tuple[str, int]] = {}
@@ -546,7 +552,18 @@ class Machine:
         hook = self.trace_hook
         poll = self.poll_hook
         poll_interval = self.poll_interval
+        profiler = self.profiler
         since_poll = 0
+        if profiler is not None and profiler.active and poll is not None:
+            # Sampling rides the poll boundary *when one is installed*
+            # (deadline/cancel polls keep firing): the per-instruction
+            # countdown below is already being paid for the hook, so
+            # the sampler comes along for free.  Without a hook the
+            # countdown stays off — straight-line code samples at call
+            # boundaries instead (see _dispatch_call), which is what
+            # keeps enabled-sampling overhead inside its 2 % budget.
+            poll = profiler.chain(self, poll)
+            poll_interval = min(poll_interval, profiler.interval)
         while True:
             instr = self.code[self.pc]
             self.pc += 1
@@ -1117,6 +1134,14 @@ class Machine:
     def _dispatch_call(self, pid: int, arity: int):
         self._pending_arity = arity
         self._maybe_gc()  # safe point: args in registers, S/mode dead
+        profiler = self.profiler
+        if profiler is not None and self.instr_count >= profiler.next_due:
+            # Call boundaries are the sampler's safe points when no
+            # poll hook is installed: one guard per call (instructions
+            # are ~20x more frequent, and next_due is infinite while
+            # disabled) keeps sampling overhead well under the cost of
+            # a per-instruction countdown.
+            profiler.sample(self)
         proc = self.procedures.get(pid)
         if proc is None:
             proc = self._resolve_unknown(pid, arity)
@@ -1143,6 +1168,11 @@ class Machine:
             code = proc.fetch(self, proc)
             if code is None:
                 return "fail"
+            if self.profiler is not None:
+                # Fetched blocks never appear in ``procedures``; label
+                # them here so EDB predicates are attributed like
+                # main-memory ones.
+                self.profiler.note_code(code, proc.name, proc.arity)
             self.code, self.pc = code, 0
             return None
         raise MachineError(f"cannot call procedure kind {kind}")
@@ -1425,6 +1455,8 @@ class Machine:
             "gc_runs": self.gc_runs,
             "gc_cells_recovered": self.gc_cells_recovered,
         })
+        if self.profiler is not None:
+            out.update(self.profiler.counters())
         return out
 
     def reset_counters(self) -> None:

@@ -203,6 +203,10 @@ class Optimizer:
         self.rejects = 0
         #: (procedure, rule, offset) of the most recent gate rejection
         self.last_reject: Optional[tuple] = None
+        #: flight recorder for ``wam_opt.reject`` events — the session
+        #: wires its store's ring here so gate fallbacks show up in
+        #: ``:events`` and slow-query captures (None = not wired)
+        self.events = None
         self._armed_rejects = 0
         self._muted = 0
 
@@ -322,5 +326,9 @@ def build_optimized_block(clauses: Sequence[CompiledClause],
     except VerifyError as exc:
         optimizer.rejects += 1
         optimizer.last_reject = (procedure, exc.rule, exc.offset)
+        events = optimizer.events
+        if events is not None and events.enabled:
+            events.record("wam_opt.reject", procedure=procedure or "?",
+                          rule=exc.rule, offset=exc.offset)
         return build_procedure_code(clauses, index=index)
     return layout.code

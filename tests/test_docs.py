@@ -120,7 +120,7 @@ class TestCounterGlossary:
         for kind in ("ticket.admit", "ticket.done", "ticket.deadline",
                      "ticket.cancelled", "ticket.failed", "query.slow",
                      "page.evict", "wal.poison", "store.recovery",
-                     "verify.reject"):
+                     "verify.reject", "wam_opt.reject"):
             assert kind in names, kind
 
     def test_loader_verify_telemetry_documented(self, glossary):

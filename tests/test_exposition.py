@@ -202,6 +202,59 @@ class TestRoundTrip:
             svc.shutdown()
 
 
+class TestObservabilityCounters:
+    def test_profiler_and_explain_counters_render(self):
+        """The profiler/explain counters introduced for EXPLAIN/ANALYZE
+        and sampled profiling survive the strict parser as ordinary
+        counters with their exact values."""
+        svc = QueryService(workers=1, queue_size=8, profiling=True,
+                           profile_interval=64, explain=True)
+        try:
+            svc.store_relation("edge", [(i, i + 1) for i in range(40)])
+            for t in svc.submit_many(["edge(X, Y)"] * 4):
+                t.result(timeout=30)
+            report = svc.profile_report()
+            samples, types = parse_prometheus(svc.exposition())
+            for key in ("profiler_samples", "profiler_sampled_instr",
+                        "profiler_sampled_data_refs",
+                        "profiler_truncated_stacks",
+                        "profiler_unknown_blocks"):
+                name = sanitize(key)
+                assert types[name] == "counter", key
+                assert samples[(name, ())] == report["counters"][key]
+            assert samples[(sanitize("profiler_samples"), ())] > 0
+            assert types[sanitize("explain_queries")] == "counter"
+            assert samples[(sanitize("explain_queries"), ())] >= 4
+        finally:
+            svc.shutdown()
+
+    def test_per_replica_dotted_gauges_round_trip(self, tmp_path):
+        """Per-replica dotted keys (``replica_lag_epochs.r0``) must
+        come out of the cluster exposition as per-replica gauges — the
+        dot mangled to an underscore, typed gauge not counter, and the
+        value intact."""
+        from repro.replication import ReplicaSet
+        cluster = ReplicaSet(str(tmp_path / "db.edb"), replicas=2,
+                             primary_workers=1, replica_workers=1)
+        try:
+            cluster.store_relation("edge", [(1, 2), (2, 3)])
+            assert cluster.wait_for_catch_up(timeout=15)
+            counters = cluster.counters()
+            samples, types = parse_prometheus(cluster.exposition())
+            for replica in ("r0", "r1"):
+                for family in ("replica_lag_epochs",
+                               "replica_lag_records"):
+                    dotted = f"{family}.{replica}"
+                    name = sanitize(dotted)
+                    assert name.endswith(f"_{replica}")
+                    assert types[name] == "gauge", dotted
+                    assert samples[(name, ())] == counters[dotted]
+            # The summed family keys stay gauges too.
+            assert types[sanitize("replica_lag_epochs")] == "gauge"
+        finally:
+            cluster.shutdown()
+
+
 class TestBenchmarkExposition:
     def test_bench_concurrency_emits_valid_exposition(self, tmp_path):
         """The CI telemetry job in miniature: a very brief benchmark

@@ -587,6 +587,31 @@ class TestNegativePaths:
         assert m.optimizer.rejects == 1
         assert I.SWITCH_ON_ARG in opcodes(m.procedure("conf2", 2).code)
 
+    def test_reject_lands_on_flight_recorder(self):
+        """A gate fallback is a `wam_opt.reject` event on the session
+        store's ring, interleaved with the rest of the event stream and
+        carrying the rule id and procedure that tripped it."""
+        from repro import EduceStar
+        kb = EduceStar()
+        kb.store.events.enabled = True
+        kb.machine.optimizer.arm_reject(1)
+        kb.consult("conf(a, 1). conf(b, 2).")
+        rejects = [e for e in kb.store.events.tail(50)
+                   if e["kind"] == "wam_opt.reject"]
+        assert len(rejects) == 1
+        event = rejects[0]
+        assert event["procedure"] == "conf/2"
+        assert event["rule"] == "F901"
+        assert isinstance(event["offset"], int)
+        # Ring disabled (the default for bare sessions): no recording.
+        kb.store.events.enabled = False
+        kb.machine.optimizer.arm_reject(1)
+        kb.consult("conf3(a, 1). conf3(b, 2).")
+        assert kb.machine.optimizer.rejects == 2
+        assert not [e for e in kb.store.events.tail(50)
+                    if e["kind"] == "wam_opt.reject"
+                    and e["procedure"] == "conf3/2"]
+
     def _compiled(self, program, name, arity):
         m = Machine(optimize="off")
         m.consult(program)

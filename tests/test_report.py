@@ -39,3 +39,68 @@ def test_table2_row_structure(capsys):
                 "Total I/O", "Average time"):
         assert row in out
     assert "Table 2b" in out
+
+
+def _write_jsonl(path, records):
+    import json
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec) + "\n")
+
+
+def test_diff_reports_per_predicate_changes(tmp_path, capsys):
+    report = _load_report()
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    _write_jsonl(a, [
+        {"kind": "wam_profile", "interval": 2048,
+         "counters": {"profiler_samples": 10}},
+        {"kind": "wam_profile_pred", "predicate": "app/3",
+         "excl_instr": 1000, "incl_instr": 1000},
+        {"kind": "wam_profile_pred", "predicate": "nrev/2",
+         "excl_instr": 50, "incl_instr": 1050},
+    ])
+    _write_jsonl(b, [
+        {"kind": "wam_profile", "interval": 2048,
+         "counters": {"profiler_samples": 10}},
+        {"kind": "wam_profile_pred", "predicate": "app/3",
+         "excl_instr": 600, "incl_instr": 600},       # app/3 got faster
+        {"kind": "wam_profile_pred", "predicate": "len/2",
+         "excl_instr": 5, "incl_instr": 5},           # new predicate
+    ])
+    changed = report.diff_jsonl(str(a), str(b))
+    out = capsys.readouterr().out
+    assert changed > 0
+    assert "app/3" in out
+    assert "-400" in out and "(-40.0%)" in out
+    assert "only in" in out                 # nrev/2 and len/2 one-sided
+    # identical records (the wam_profile header) produce no rows
+    assert "profiler_samples" not in out
+
+
+def test_diff_identical_files_reports_nothing(tmp_path, capsys):
+    report = _load_report()
+    a = tmp_path / "a.jsonl"
+    _write_jsonl(a, [
+        {"kind": "query_profile", "goal": "p(X)",
+         "counters": {"instr_count": 42}},
+    ])
+    changed = report.diff_jsonl(str(a), str(a))
+    out = capsys.readouterr().out
+    assert changed == 0
+    assert "no numeric differences" in out
+
+
+def test_diff_cli_exit_status_is_zero(tmp_path):
+    import subprocess
+    a = tmp_path / "a.jsonl"
+    _write_jsonl(a, [{"kind": "wam_profile_pred", "predicate": "p/1",
+                      "excl_instr": 1}])
+    proc = subprocess.run(
+        [sys.executable,
+         os.path.join(os.path.dirname(__file__), os.pardir,
+                      "benchmarks", "report.py"),
+         "--diff", str(a), str(a)],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr[-1000:]
+    assert "no numeric differences" in proc.stdout

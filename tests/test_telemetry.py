@@ -414,3 +414,60 @@ class TestExplicitTraceSurface:
             assert len(set(ids)) == 5
         finally:
             svc.shutdown()
+
+
+PATH_PROGRAM = (
+    "path(X, Y) :- edge(X, Y).\n"
+    "path(X, Z) :- edge(X, Y), path(Y, Z).\n")
+
+
+class TestDatalogSpans:
+    def test_datalog_evaluate_span_carries_trace_id(self):
+        """A bottom-up ticket's fixpoint span is part of the ticket's
+        trace: nested under execute, stamped with the ticket's id."""
+        svc = QueryService(workers=1, queue_size=8, tracing=True,
+                           datalog="force")
+        try:
+            svc.store_relation("edge", [(1, 2), (2, 3), (3, 4)])
+            svc.store_program(PATH_PROGRAM)
+            ticket = svc.submit("path(1, X)")
+            assert len(ticket.result(timeout=30)) == 3
+            life = lifecycle(svc.telemetry(), ticket.trace_id)
+            execute = life["trace"].find("execute")[0]
+            evals = execute.find("datalog.evaluate")
+            assert evals, "fixpoint ran outside the ticket's trace"
+            assert evals[0].attrs["trace_id"] == ticket.trace_id
+            assert evals[0].attrs["strategy"] == "bottomup"
+        finally:
+            svc.shutdown()
+
+    def test_replica_read_nests_datalog_span_under_ticket(self, tmp_path):
+        """Cluster-wide service kwargs: a replica-drained bottom-up
+        read produces the same ticket → execute → datalog.evaluate
+        span nesting as a primary read, with the replica ticket's own
+        trace id on every engine span."""
+        from repro.replication import ReplicaSet
+        cluster = ReplicaSet(str(tmp_path / "db.edb"), replicas=2,
+                             primary_workers=1, replica_workers=1,
+                             tracing=True, datalog="force")
+        try:
+            cluster.store_relation("edge", [(1, 2), (2, 3), (3, 4)])
+            cluster.store_program(PATH_PROGRAM)
+            assert cluster.wait_for_catch_up(timeout=15)
+            ticket = cluster.submit_read("path(1, X)", max_lag=0)
+            assert len(ticket.result(timeout=30)) == 3
+            assert ticket.trace_id
+            traces = []
+            for replica in cluster.replicas:
+                traces += [
+                    t for t in replica.service.telemetry()["traces"]
+                    if t.attrs.get("trace_id") == ticket.trace_id]
+            assert len(traces) == 1, "read not traced on exactly one replica"
+            assert traces[0].name == "ticket"
+            execute = traces[0].find("execute")[0]
+            evals = execute.find("datalog.evaluate")
+            assert evals, "replica fixpoint ran outside the ticket trace"
+            assert evals[0].attrs["trace_id"] == ticket.trace_id
+            assert evals[0].attrs["strategy"] == "bottomup"
+        finally:
+            cluster.shutdown()

@@ -739,3 +739,56 @@ class TestIncrementalScan:
         cursor = wal.scan_from(mid, expected_lsn=1)
         assert list(cursor) == [b"second"]
         assert cursor.status == "ok"
+
+
+class TestRulebaseReplay:
+    """Replayed ``rules`` records carry surface clauses: bottom-up
+    evaluation survives a crash (docs/DATALOG.md, *Failure modes*)."""
+
+    RULES = ("% lint: external link/2\n"
+             "reach(X, Y) :- link(X, Y).\n"
+             "reach(X, Z) :- link(X, Y), reach(Y, Z).")
+
+    def test_replayed_rules_restore_bottom_up(self, tmp_path):
+        from repro import EduceStar
+        path = str(tmp_path / "db.edb")
+        session = EduceStar(store=ExternalStore.open(path))
+        session.store_relation("link", [(1, 2), (2, 3), (3, 4)])
+        session.store_program(self.RULES)
+        del session                          # crash: no checkpoint
+
+        reopened = EduceStar.open(path, datalog="force")
+        assert reopened.store.recovery.ops_replayed.get("rules") == 1
+        assert ("reach", 2) in reopened.store.datalog_rules
+        assert len(list(reopened.solve("reach(1, X)"))) == 3
+        counters = reopened.datalog.counters()
+        assert counters["datalog_bottomup"] == 1
+        assert counters["datalog_rulebase_missing"] == 0
+
+    def test_checkpointed_rules_still_cold(self, tmp_path):
+        """The checkpoint truncates the log: programs stored before it
+        keep the documented top-down fallback."""
+        from repro import EduceStar
+        path = str(tmp_path / "db.edb")
+        session = EduceStar(store=ExternalStore.open(path))
+        session.store_relation("link", [(1, 2), (2, 3)])
+        session.store_program(self.RULES)
+        session.save(path)
+
+        reopened = EduceStar.open(path, datalog="force")
+        assert ("reach", 2) not in reopened.store.datalog_rules
+        assert len(list(reopened.solve("reach(1, X)"))) == 2
+        assert reopened.datalog.counters()[
+            "datalog_rulebase_missing"] >= 1
+
+    def test_replayed_retract_untracks(self, tmp_path):
+        from repro import EduceStar
+        path = str(tmp_path / "db.edb")
+        session = EduceStar(store=ExternalStore.open(path))
+        session.store_relation("link", [(1, 2)])
+        session.store_program(self.RULES)
+        session.store.retract_clause("reach", 2, 0)
+        del session                          # crash: no checkpoint
+
+        reopened = EduceStar.open(path, datalog="force")
+        assert ("reach", 2) not in reopened.store.datalog_rules
