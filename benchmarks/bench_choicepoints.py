@@ -33,7 +33,6 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
                                 "src"))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-import pytest                                          # noqa: E402
 
 from repro.engine.stats import measure                 # noqa: E402
 from repro.wam.machine import Machine                  # noqa: E402

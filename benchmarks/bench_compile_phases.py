@@ -20,7 +20,6 @@ import time
 import pytest
 
 from repro.dictionary import SegmentedDictionary
-from repro.edb.store import ExternalStore
 from repro.engine.session import EduceStar
 from repro.lang.reader import Reader
 from repro.wam.compiler import ClauseCompiler, CompileContext

@@ -10,7 +10,7 @@ dictionary.  This bench quantifies the two levers it discusses:
 
 import pytest
 
-from repro.dictionary import SegmentedDictionary, fnv1a
+from repro.dictionary import SegmentedDictionary
 
 
 def _names(n):

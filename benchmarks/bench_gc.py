@@ -11,7 +11,6 @@ time overhead and heap high-water mark (the functionality the collector
 buys: bounded memory for continuous operation).
 """
 
-import pytest
 
 from repro.engine.stats import measure
 from repro.wam.machine import Machine

@@ -13,7 +13,6 @@ Reported: simulated ms, parse characters, assert/erase counts, loader
 cache hits.
 """
 
-import pytest
 
 from repro.engine.educe_baseline import EduceBaseline
 from repro.engine.session import EduceStar

@@ -52,6 +52,13 @@ A minimal shell over an :class:`~repro.EduceStar` session:
                   structural + abstract verification of its compiled
                   code, first-argument partitions, dead clauses
                   (rule glossary: docs/ANALYSIS.md)
+  ``:modes [P]``  whole-program analysis of the loaded program
+                  (docs/ANALYSIS.md): inferred call/success modes
+                  (``g``/``n``/``a`` letters) and determinism class
+                  per predicate — all of them, or just ``name`` /
+                  ``name/arity``; ``:modes apply`` feeds the proven
+                  bindings to the optimizer (mode-driven dispatch),
+                  ``:modes clear`` reverts
   ``:optimize [L]``  show or set the code-optimization level —
                   ``off``, ``peephole`` (superinstruction fusion) or
                   ``full`` (fusion + determinism-driven dispatch);
@@ -325,6 +332,28 @@ def command(session, line: str, interactive: bool):
             print("usage: :verify name/arity")
         else:
             print(describe_procedure(session, name, int(arity_text)))
+    elif cmd == ":modes":
+        from repro.analysis import describe_modes
+        if arg == "apply":
+            report = session.apply_global_modes(refresh=True)
+            bound = report.bound_args()
+            print(f"applied: {len(bound)} predicate(s) with proven-"
+                  "ground arguments feed mode-driven dispatch "
+                  f"(wam_opt_mode_guards counts uses)")
+            if session.optimize != "full":
+                print(f"note: optimize is '{session.optimize}' — "
+                      "guards plant only at :optimize full")
+        elif arg == "clear":
+            session.clear_global_modes()
+            print("cleared: optimizer back to call-site-only guards")
+        elif arg:
+            name, slash, arity_text = arg.rpartition("/")
+            if slash and arity_text.isdigit():
+                print(describe_modes(session, name, int(arity_text)))
+            else:
+                print(describe_modes(session, arg))
+        else:
+            print(describe_modes(session))
     elif cmd == ":lint":
         from repro.analysis.corpus import CorpusEntry, corpus_entries
         from repro.analysis.lint import lint_text

@@ -9,7 +9,11 @@ compiled-code-in-the-EDB architecture (§3.1):
 * :mod:`~repro.analysis.determinism` — first-argument partitioning,
   switch-table coverage and dead-code reachability (D rules);
 * :mod:`~repro.analysis.lint` — source-level lint for ``.pl`` programs
-  (L rules), with inline ``% lint:`` pragma waivers.
+  (L rules), with inline ``% lint:`` pragma waivers;
+* :mod:`~repro.analysis.global_` — whole-program analysis: predicate
+  call graph, mode/groundness abstract interpretation and determinism
+  inference (M rules), consumed by the WAM optimizer, the Datalog
+  strategy planner and the linter.
 
 The compiler and assembler verify their own output when
 :func:`enable_self_verify` has been called (the test suite turns it
@@ -30,6 +34,7 @@ __all__ = [
     "analyze_clauses", "check_clause", "check_code", "lint_text",
     "verify_clause", "verify_code",
     "enable_self_verify", "self_verify_enabled", "describe_procedure",
+    "describe_modes",
 ]
 
 
@@ -107,6 +112,16 @@ def describe_procedure(session, name: str, arity: int) -> str:
                          f" -> clauses {positions}")
     lines.extend(_render(findings))
     return "\n".join(lines)
+
+
+def describe_modes(session, name=None, arity=None) -> str:
+    """Human-readable whole-program mode/determinism report for the
+    loaded program — the REPL's ``:modes [name[/arity]]`` command.
+
+    Runs (or reuses) the session's cached global analysis; one
+    predicate when *name* is given, the full table otherwise."""
+    report = session.global_analysis()
+    return report.describe(name=name, arity=arity)
 
 
 def _render(findings) -> list:

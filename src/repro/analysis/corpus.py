@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import ast
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 __all__ = ["CorpusEntry", "corpus_entries", "repo_root"]

@@ -1,0 +1,35 @@
+"""Whole-program analysis: call graph, groundness/mode fixpoint,
+determinism/cardinality classes (docs/ANALYSIS.md, "Whole-program
+analysis").
+
+The package is named ``global_`` because ``global`` is a Python
+keyword.  Entry points:
+
+* :func:`program_from_text` / :func:`program_from_session` — build the
+  :class:`Program` view the pass runs over;
+* :func:`analyze_program` — run everything, get a
+  :class:`GlobalReport`;
+* the report's :meth:`~GlobalReport.bound_args`,
+  :meth:`~GlobalReport.mode_findings`, :meth:`~GlobalReport.describe`
+  feed the WAM optimizer, the linter's M rules, and the ``:modes``/
+  ``python -m repro.analysis modes`` surfaces respectively.
+"""
+
+from .callgraph import (CallGraph, CallSite, Program, build_call_graph,
+                        iter_goals, program_from_session,
+                        program_from_text, tarjan_sccs)
+from .cardinality import (CardResult, class_name, infer_cardinality)
+from .modes import (ANY, GROUND, NONVAR, BuiltinSig, ModeResult,
+                    builtin_signature, infer_modes, join, leq,
+                    mode_string, refine)
+from .report import GlobalReport, PredicateInfo, analyze_program
+
+__all__ = [
+    "ANY", "GROUND", "NONVAR", "BuiltinSig", "CallGraph", "CallSite",
+    "CardResult", "GlobalReport", "ModeResult", "PredicateInfo",
+    "Program", "analyze_program", "build_call_graph",
+    "builtin_signature", "class_name", "infer_cardinality",
+    "infer_modes", "iter_goals", "join", "leq", "mode_string",
+    "program_from_session", "program_from_text", "refine",
+    "tarjan_sccs",
+]

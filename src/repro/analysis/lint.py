@@ -45,6 +45,21 @@ RULES: Dict[str, str] = {
             "but the set-at-a-time engine cannot evaluate it "
             "(unstratified negation in its cycle, or a rule that is "
             "not range-restricted)",
+    "L106": "unknown rule id in a lint pragma: '% lint: disable=' names "
+            "a rule this linter does not define (typo, or a rule from "
+            "a newer version)",
+    "M201": "mode conflict: a call passes a variable whose first "
+            "occurrence in the clause sits in a builtin's "
+            "demanded-ground position — a guaranteed instantiation "
+            "error if the goal is reached",
+    "M202": "provably always fails: the whole-program cardinality "
+            "analysis classed the predicate 'fails' (no clause can "
+            "produce a solution)",
+    "M203": "dead choice point: the predicate is deterministic under "
+            "its inferred call modes (an always-ground argument "
+            "discriminates every clause) but first-argument indexing "
+            "cannot see it, so the compiled code keeps a choice point "
+            "that never yields a second solution",
 }
 
 _PRAGMA_RE = re.compile(
@@ -54,18 +69,12 @@ _PRAGMA_RE = re.compile(
 
 _IND_RE = re.compile(r"(\S+)/(\d+)")
 
-#: goals the compiler handles directly (no registered indicator)
-_CONTROL = {("true", 0), ("fail", 0), ("false", 0), ("!", 0),
-            ("otherwise", 0)}
-
-#: meta-predicates: which argument positions are themselves goals
-_META_GOAL_ARGS = {
-    (",", 2): (0, 1), (";", 2): (0, 1), ("->", 2): (0, 1),
-    ("\\+", 1): (0,), ("not", 1): (0,), ("once", 1): (0,),
-    ("ignore", 1): (0,), ("call", 1): (0,), ("forall", 2): (0, 1),
-    ("findall", 3): (1,), ("bagof", 3): (1,), ("setof", 3): (1,),
-    ("aggregate_all", 3): (1,),
-}
+#: goals the compiler handles directly (no registered indicator) and
+#: the meta-predicate goal-argument table — both shared with the
+#: whole-program call graph so source lint and global analysis agree
+#: on what a reachable goal is (docs/ANALYSIS.md)
+from .global_.callgraph import (CONTROL_GOALS as _CONTROL,
+                                META_GOAL_ARGS as _META_GOAL_ARGS)
 
 
 @dataclass(frozen=True)
@@ -82,9 +91,11 @@ class LintFinding:
 def lint_text(text: str, name: str = "",
               extra_defined: Tuple[Tuple[str, int], ...] = ()
               ) -> List[LintFinding]:
-    """Lint one Prolog program text; return the unwaived findings."""
+    """Lint one Prolog program text; return the unwaived findings
+    (L rules from the source walk, M rules from the whole-program
+    analysis run over the same text)."""
     _ensure_builtin_registry()
-    disabled, externals = _parse_pragmas(text)
+    disabled, externals, unknown_rules = _parse_pragmas(text)
     reader = Reader()
     defined: Set[Tuple[str, int]] = set(extra_defined) | externals
     heads: List[Tuple[str, int]] = []  # clause heads, in source order
@@ -161,6 +172,19 @@ def lint_text(text: str, name: str = "",
     # L105 — recursive, Datalog-shaped, yet blocked from bottom-up
     findings.extend(_datalog_blocked(clause_terms))
 
+    # L106 — pragmas naming rules this linter does not define
+    for rule_id in sorted(unknown_rules):
+        findings.append(LintFinding(
+            "L106", rule_id,
+            f"'% lint: disable={rule_id}' names an unknown rule "
+            "(known: " + ", ".join(sorted(RULES)) + ")"))
+
+    # M rules — whole-program mode/determinism findings over the same
+    # text (docs/ANALYSIS.md, "M rules"); waived by the same pragmas
+    from .global_ import analyze_program, program_from_text
+    program = program_from_text(text, extra_defined=tuple(extra_defined))
+    findings.extend(analyze_program(program).mode_findings())
+
     return [f for f in findings if not _waived(f, disabled)]
 
 
@@ -236,8 +260,12 @@ def _datalog_blocked(clause_terms: Dict[Tuple[str, int], List[Term]]
 # =====================================================================
 
 def _parse_pragmas(text: str):
+    """Returns ``(disabled, externals, unknown_rules)``: the waiver
+    map, the declared-external indicators, and any well-formed rule ids
+    in ``disable=`` pragmas that no rule table defines (L106)."""
     disabled: Dict[str, Optional[Set[str]]] = {}
     externals: Set[Tuple[str, int]] = set()
+    unknown: Set[str] = set()
     for m in _PRAGMA_RE.finditer(text):
         inds = [(name, int(arity))
                 for name, arity in _IND_RE.findall(m.group("inds") or "")]
@@ -245,12 +273,14 @@ def _parse_pragmas(text: str):
             externals.update(inds)
         else:
             rule = m.group("rule")
+            if rule not in RULES:
+                unknown.add(rule)
             if not inds:
                 disabled[rule] = None  # everywhere
             elif disabled.get(rule, set()) is not None:
                 disabled.setdefault(rule, set()).update(
                     _fmt(ind) for ind in inds)
-    return disabled, externals
+    return disabled, externals, unknown
 
 
 def _waived(finding: LintFinding,

@@ -21,7 +21,7 @@ transforms in :mod:`repro.bang.relation`.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, Optional, Sequence, Tuple
 
 from .pager import Pager
 

@@ -106,11 +106,16 @@ class DynamicLoader:
             return None
         summaries = self.preunifier.summaries_from_registers(machine, arity)
         pattern = tuple(sorted(summaries.items()))
-        # The optimization level rides in the key: ``:optimize`` changes
-        # it at runtime and cached blocks must match the active level.
-        opt_level = "off" if self.optimizer is None else self.optimizer.level
+        # The optimization level and the whole-program modes epoch ride
+        # in the key: ``:optimize`` / ``:modes apply`` change them at
+        # runtime and cached blocks must match the active settings.
+        if self.optimizer is None:
+            opt_level, modes_epoch = "off", 0
+        else:
+            opt_level = self.optimizer.level
+            modes_epoch = self.optimizer.modes_epoch
         key = (name, arity, proc.version, pattern, self.preunifier.depth,
-               opt_level)
+               opt_level, modes_epoch)
         with self._latch:
             cached = self._cache.get(key)
             if cached is not None:

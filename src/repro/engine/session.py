@@ -115,6 +115,13 @@ class EduceStar:
             mode=datalog,
             min_rows=(DEFAULT_MIN_ROWS if datalog_min_rows is None
                       else datalog_min_rows))
+        # Whole-program analysis (docs/ANALYSIS.md): cached report +
+        # counters; the Datalog planner folds inferred classes into its
+        # decisions once :meth:`global_analysis` has run.
+        self._global_report = None
+        self._global_key = None
+        self.global_runs = 0
+        self.datalog.modes_provider = self._datalog_modes
 
     # ------------------------------------------------------------ population
 
@@ -357,7 +364,8 @@ class EduceStar:
             if stored.mode == "facts":
                 pnode.attrs["rows"] = len(stored.relation)
             for key, code in self.loader.cached_blocks(name, arity):
-                _n, _a, version, pattern, depth, opt_level = key
+                (_n, _a, version, pattern, depth, opt_level,
+                 _modes_epoch) = key
                 # The pattern is the pre-unifier's bound-argument
                 # summary map; "free" means every argument was unbound.
                 label = ",".join(f"{pos}:{summary[0]}"
@@ -371,6 +379,20 @@ class EduceStar:
             pnode.attrs["kind"] = proc.kind
         else:
             pnode.attrs["source"] = "undefined"
+        # Inferred mode/determinism annotations, when a whole-program
+        # analysis has run this session (docs/OBSERVABILITY.md).
+        if self._global_report is not None:
+            info = self._global_report.infos.get((name, arity))
+            if info is not None:
+                from ..analysis.global_ import mode_string
+                if info.call_modes is not None:
+                    pnode.attrs["call_modes"] = mode_string(
+                        info.call_modes)
+                if info.success_modes is not None:
+                    pnode.attrs["success_modes"] = mode_string(
+                        info.success_modes)
+                if info.determinism is not None:
+                    pnode.attrs["determinism"] = info.determinism
         root.add(pnode)
 
     def _optimizer_node(self):
@@ -482,15 +504,72 @@ class EduceStar:
         keyed by level, so stale-level blocks are unreachable)."""
         self.machine.set_optimize(level)
 
+    # ------------------------------------------- whole-program analysis
+
+    def global_analysis(self, refresh: bool = False):
+        """The whole-program analysis report over everything this
+        session can execute (docs/ANALYSIS.md): main-memory procedures,
+        EDB-stored rules, facts relations.  Cached until the program
+        changes (a consult, a store mutation); ``refresh=True`` forces
+        a re-run."""
+        from ..analysis.global_ import (analyze_program,
+                                        program_from_session)
+        key = (self.machine.compile_count, self.store.mutation_epoch,
+               self.store.datalog_rules.epoch)
+        if (not refresh and self._global_report is not None
+                and key == self._global_key):
+            return self._global_report
+        self._global_report = analyze_program(
+            program_from_session(self))
+        self._global_key = key
+        self.global_runs += 1
+        return self._global_report
+
+    def apply_global_modes(self, refresh: bool = False):
+        """Run (or reuse) the whole-program analysis and install its
+        bound-argument map into the optimizer: main-memory blocks are
+        rebuilt immediately, loader-cached blocks refresh on next fetch
+        (``modes_epoch`` rides in the cache key).  Returns the report.
+
+        The installed facts are profitability hints only — the
+        generalized guards are observationally equivalent for every
+        call pattern, and every rebuilt block still passes the full
+        verify + D301/D302 gate (docs/OPTIMIZER.md)."""
+        report = self.global_analysis(refresh=refresh)
+        self.machine.optimizer.set_global_modes(report.bound_args())
+        self.machine.rebuild_blocks()
+        return report
+
+    def clear_global_modes(self) -> None:
+        """Remove installed whole-program facts and rebuild."""
+        self.machine.optimizer.set_global_modes({})
+        self.machine.rebuild_blocks()
+
+    def _datalog_modes(self, ind: Tuple[str, int]):
+        """Modes/determinism for the strategy planner: available only
+        once an analysis has run (the planner never triggers one —
+        planning stays cheap)."""
+        report = self._global_report
+        if report is None:
+            return None
+        info = report.infos.get(ind)
+        if info is None:
+            return None
+        return (info.call_modes, info.determinism)
+
     # ------------------------------------------------------------- counters
 
     def local_counters(self) -> dict:
         """Only the counters the session owns itself — what a service
         registry attaches alongside the machine/loader/datalog sources
         it already has, without double counting them."""
-        return {"parsed_chars": self.parsed_chars,
-                "explain_queries": self.explain_queries,
-                "analyze_queries": self.analyze_queries}
+        out = {"parsed_chars": self.parsed_chars,
+               "explain_queries": self.explain_queries,
+               "analyze_queries": self.analyze_queries,
+               "analysis_global_runs": self.global_runs}
+        if self._global_report is not None:
+            out.update(self._global_report.counters())
+        return out
 
     def counters(self) -> dict:
         merged = dict(self.machine.counters())

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ...obs.registry import Histogram
 from ...obs.tracing import NULL_TRACER
-from ...terms import Atom, Struct, Term, Var, deref
+from ...terms import Atom, Struct, Var, deref
 from ...wam.machine import Solution
 from .magic import rewrite
 from .rules import (Analysis, Indicator, analyze, const_to_term,
@@ -58,6 +58,10 @@ class DatalogEngine:
 
         self._analysis: Optional[Analysis] = None
         self._analysis_key: Optional[Tuple[int, int]] = None
+        #: callback ``ind -> (call_modes, determinism) | None`` wired by
+        #: the session once a whole-program analysis exists; planning
+        #: never triggers an analysis itself (docs/ANALYSIS.md)
+        self.modes_provider = None
         self.last_decision: Optional[Decision] = None
         #: fixpoint stats of the most recent bottom-up evaluation
         #: (ANALYZE folds its per-pass delta counts into the plan tree)
@@ -78,6 +82,8 @@ class DatalogEngine:
         #: the store was reopened (checkpoints persist compiled code
         #: only — docs/DATALOG.md, "recovered stores")
         self.rulebase_missing = 0
+        #: decisions short-circuited by inferred determinism classes
+        self.mode_shortcuts = 0
         self._missing_reported: Set[Indicator] = set()
         self._fixpoint_hist = Histogram(boundaries=_ITER_BOUNDARIES)
 
@@ -98,6 +104,16 @@ class DatalogEngine:
     def _is_edb(self, ind: Indicator) -> bool:
         proc = self.store.lookup(*ind)
         return proc is not None and proc.mode == "facts"
+
+    def _global_info(self, ind: Indicator):
+        """Whole-program facts for *ind*, when the session installed a
+        provider and an analysis has run — else None."""
+        if self.modes_provider is None:
+            return None
+        try:
+            return self.modes_provider(ind)
+        except Exception:
+            return None
 
     # -------------------------------------------------------------- routing
 
@@ -127,9 +143,12 @@ class DatalogEngine:
 
         analysis = self.analysis()
         decision = choose(analysis, ind, self.store, self.mode,
-                          self.min_rows)
+                          self.min_rows,
+                          global_info=self._global_info(ind))
         self.queries += 1
         self.last_decision = decision
+        if decision.mode_shortcut:
+            self.mode_shortcuts += 1
         if decision.strategy != "bottomup":
             self.topdown += 1
             return None
@@ -310,9 +329,13 @@ class DatalogEngine:
                     "procedure)")
         analysis = self.analysis()
         decision = choose(analysis, ind, self.store, self.mode,
-                          self.min_rows)
+                          self.min_rows,
+                          global_info=self._global_info(ind))
         lines = [f"strategy: {decision.strategy}",
                  f"reason:   {decision.reason}"]
+        if decision.call_modes or decision.determinism:
+            lines.append(f"analysis: call={decision.call_modes or '?'} "
+                         f"det={decision.determinism or '?'}")
         if decision.evaluable:
             lines.append(f"base:     {decision.base_rows} EDB rows in "
                          f"{sorted(indicator_str(d) for d in analysis.dependencies(ind) & analysis.edb)}")
@@ -358,7 +381,8 @@ class DatalogEngine:
             return None
         analysis = self.analysis()
         decision = choose(analysis, ind, self.store, self.mode,
-                          self.min_rows)
+                          self.min_rows,
+                          global_info=self._global_info(ind))
         node = PlanNode("decision", indicator_str(ind),
                         strategy=decision.strategy,
                         reason=decision.reason,
@@ -366,6 +390,10 @@ class DatalogEngine:
                         base_rows=decision.base_rows,
                         evaluable=decision.evaluable,
                         recursive=decision.recursive)
+        if decision.call_modes is not None:
+            node.attrs["call_modes"] = decision.call_modes
+        if decision.determinism is not None:
+            node.attrs["determinism"] = decision.determinism
         if decision.blocked:
             node.attrs["blocked"] = decision.blocked
         if decision.strategy != "bottomup":
@@ -433,6 +461,7 @@ class DatalogEngine:
             "datalog_magic_facts": self.magic_facts,
             "datalog_extractions": self.extractions,
             "datalog_rulebase_missing": self.rulebase_missing,
+            "datalog_mode_shortcuts": self.mode_shortcuts,
         }
 
     def histograms(self) -> Dict[str, Histogram]:

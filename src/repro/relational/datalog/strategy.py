@@ -54,6 +54,13 @@ class Decision:
     #: query adornment (filled in by the engine when magic applies)
     adornment: Optional[str] = None
     magic: bool = False
+    #: whole-program analysis facts, when one has run this session
+    #: (docs/ANALYSIS.md): the inferred call modes ("gna" letters) and
+    #: determinism class of the goal's predicate
+    call_modes: Optional[str] = None
+    determinism: Optional[str] = None
+    #: True when the inferred determinism short-circuited costing
+    mode_shortcut: bool = False
 
     def describe(self) -> str:
         return (f"{indicator_str(self.indicator)}: {self.strategy} "
@@ -62,8 +69,25 @@ class Decision:
 
 def choose(analysis: Analysis, ind: Indicator, store,
            mode: str = "auto",
-           min_rows: int = DEFAULT_MIN_ROWS) -> Decision:
-    """Pick the strategy for a goal on *ind*."""
+           min_rows: int = DEFAULT_MIN_ROWS,
+           global_info=None) -> Decision:
+    """Pick the strategy for a goal on *ind*.
+
+    *global_info* is ``(call_modes, determinism)`` from the session's
+    whole-program analysis, or None when none has run.  A predicate the
+    analysis proved ``fails``/``det``/``semidet`` yields at most one
+    solution, so the fixpoint machinery can never pay for itself —
+    costing is short-circuited straight to top-down, before the
+    base-row walk spends store lookups.  (Strategy choice never affects
+    answers, so the inferred class is used as a cost fact only.)
+    """
+    call_modes_s: Optional[str] = None
+    determinism: Optional[str] = None
+    if global_info is not None:
+        raw_modes, determinism = global_info
+        if raw_modes is not None:
+            from ...analysis.global_.modes import mode_string
+            call_modes_s = mode_string(raw_modes)
     if mode == "off":
         return Decision(ind, "topdown", "datalog routing disabled",
                         mode=mode, min_rows=min_rows)
@@ -71,7 +95,16 @@ def choose(analysis: Analysis, ind: Indicator, store,
         blocked = analysis.blocked.get(
             ind, "not a stored rules procedure")
         return Decision(ind, "topdown", blocked, blocked=blocked,
-                        mode=mode, min_rows=min_rows)
+                        mode=mode, min_rows=min_rows,
+                        call_modes=call_modes_s, determinism=determinism)
+    if mode != "force" and determinism in ("fails", "det", "semidet"):
+        return Decision(
+            ind, "topdown",
+            f"analysis: {determinism} — at most one solution, the "
+            "fixpoint cannot pay for itself",
+            evaluable=True, mode=mode, min_rows=min_rows,
+            call_modes=call_modes_s, determinism=determinism,
+            mode_shortcut=True)
 
     deps = analysis.dependencies(ind)
     recursive = bool(deps & analysis.recursive)
@@ -87,16 +120,19 @@ def choose(analysis: Analysis, ind: Indicator, store,
             ind, "topdown",
             "non-recursive: one top-down pass answers it",
             evaluable=True, recursive=False, base_rows=base_rows,
-            strata=strata, mode=mode, min_rows=min_rows)
+            strata=strata, mode=mode, min_rows=min_rows,
+            call_modes=call_modes_s, determinism=determinism)
     if mode != "force" and base_rows < min_rows:
         return Decision(
             ind, "topdown",
             f"small EDB ({base_rows} rows < {min_rows}): tuple-at-a-time "
             "wins on constant factors",
             evaluable=True, recursive=True, base_rows=base_rows,
-            strata=strata, mode=mode, min_rows=min_rows)
+            strata=strata, mode=mode, min_rows=min_rows,
+            call_modes=call_modes_s, determinism=determinism)
     reason = (f"recursive over {base_rows} EDB rows"
               if mode != "force" else "forced bottom-up")
     return Decision(ind, "bottomup", reason, evaluable=True,
                     recursive=True, base_rows=base_rows, strata=strata,
-                    mode=mode, min_rows=min_rows)
+                    mode=mode, min_rows=min_rows,
+                    call_modes=call_modes_s, determinism=determinism)

@@ -13,7 +13,7 @@ choice-point traffic (§3.2.1/§3.2.2).
 from .compiler import ClauseCompiler, compile_clause, compile_procedure
 from .instructions import format_code
 from .machine import Machine, Procedure, Solution
-from . import builtins as _builtins  # registers builtin indicators
+from . import builtins as _builtins  # noqa: F401  (registers builtin indicators)
 
 __all__ = [
     "Machine",

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import strategies as st
 
 from repro.analysis import enable_self_verify
-from repro.terms import Atom, Struct, Var
+from repro.terms import Atom, Struct
 
 # Every compile and every assembly in the test suite runs under the
 # static verifier (docs/ANALYSIS.md): a clause the compiler emits that

@@ -3,7 +3,7 @@ determinism analysis, linter, loader gate and CLI (docs/ANALYSIS.md)."""
 
 import pytest
 
-from repro.analysis import (analyze_clauses, check_clause, check_code,
+from repro.analysis import (analyze_clauses, check_code,
                             lint_text, verify_code)
 from repro.analysis.cli import main as cli_main
 from repro.errors import VerifyError

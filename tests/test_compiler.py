@@ -8,7 +8,6 @@ from repro.lang.reader import read_term
 from repro.wam import instructions as I
 from repro.wam.assembler import assemble
 from repro.wam.compiler import (
-    ClauseCompiler,
     CompileContext,
     compile_clause,
     compile_procedure,

@@ -16,8 +16,7 @@ from repro.relational.algebra import (CrossJoin, Filter, LookupJoin, Rows,
 from repro.relational.datalog import (DEFAULT_MIN_ROWS, NotDatalog, analyze,
                                       choose, rule_from_clause, stratify)
 from repro.relational.datalog.magic import rewrite
-from repro.relational.datalog.rules import (V, range_restriction_violation,
-                                            rules_from_clauses)
+from repro.relational.datalog.rules import (V, range_restriction_violation)
 
 READER = Reader()
 

@@ -327,14 +327,34 @@ class TestAnalysisGlossary:
             assert rule in names, rule
 
     def test_no_phantom_rules(self, analysis_glossary):
-        """Every V/A/D/L id the glossary mentions exists in the code —
+        """Every V/A/D/L/M id the glossary mentions exists in the code —
         the doc cannot document rules that were renamed or removed."""
         import re as _re
         from repro.analysis import determinism, lint, verifier
         known = (set(verifier.RULES) | set(determinism.RULES)
                  | set(lint.RULES))
-        mentioned = set(_re.findall(r"`([VADL]\d{3})`", analysis_glossary))
+        mentioned = set(_re.findall(r"`([VADLM]\d{3})`",
+                                    analysis_glossary))
         assert mentioned <= known, sorted(mentioned - known)
+
+    def test_mode_lattice_documented(self, analysis_glossary):
+        """The whole-program section spells out the mode lattice and
+        the determinism classes the analysis can emit."""
+        names = documented(analysis_glossary)
+        for token in ("ground", "nonvar", "any", "fails", "det",
+                      "semidet", "multi", "nondet"):
+            assert token in names, token
+        assert "python -m repro.analysis modes" in analysis_glossary
+
+    def test_analysis_counters_cross_referenced(self, analysis_glossary,
+                                                glossary):
+        """The analysis counters exist in the observability glossary."""
+        names = documented(glossary)
+        for key in ("analysis_global_runs", "analysis_global_predicates",
+                    "analysis_global_sccs", "analysis_global_iterations",
+                    "analysis_global_widenings", "wam_opt_mode_guards",
+                    "datalog_mode_shortcuts"):
+            assert key in names, key
 
     def test_verify_levels_documented(self, analysis_glossary):
         from repro.edb.loader import VERIFY_LEVELS

@@ -10,7 +10,7 @@ from repro.edb.external_dict import ExternalDictionary
 from repro.edb.store import ExternalStore, summarize_arg
 from repro.errors import CatalogError, ExistenceError
 from repro.lang.reader import read_term, read_terms
-from repro.terms import Atom, Struct, Var
+from repro.terms import Var
 from repro.wam.compiler import ClauseCompiler, CompileContext
 
 

@@ -2,8 +2,6 @@
 interface (§2.3), EDB persistence (§3.1), the typed sub-language
 (§3.2.3) and cyclic-data facilities (§1)."""
 
-import os
-import tempfile
 
 import pytest
 
@@ -11,7 +9,6 @@ from repro.edb.store import ExternalStore
 from repro.engine.session import EduceStar
 from repro.errors import ExistenceError, PrologError, TypeError_
 from repro.lang.writer import term_to_text
-from repro.wam.machine import Machine
 
 
 class TestDirectives:

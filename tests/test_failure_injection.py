@@ -6,7 +6,7 @@ import pytest
 
 from repro.bang.grid import BangGrid
 from repro.bang.pager import DiskStore, Pager
-from repro.errors import PageError, ResourceError
+from repro.errors import PageError
 
 
 class TestDiskCorruption:

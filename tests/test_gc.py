@@ -1,6 +1,5 @@
 """Tests for the sliding heap garbage collector (paper §3.3.2)."""
 
-import pytest
 
 from repro.lang.writer import term_to_text
 from repro.wam.gc import collect_heap, gc_allowed

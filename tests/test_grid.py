@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.bang.grid import BangGrid, full_box, point_box
+from repro.bang.grid import BangGrid, point_box
 from repro.bang.pager import Pager
 
 

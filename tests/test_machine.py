@@ -12,7 +12,6 @@ from repro.errors import (
 )
 from repro.lang.writer import term_to_text
 from repro.terms import Atom
-from repro.wam.machine import Machine
 
 
 def answers(machine, goal, var="X"):

@@ -1,6 +1,5 @@
 """Tests for the compiled Prolog library (prelude)."""
 
-import pytest
 
 from repro.lang.writer import term_to_text
 

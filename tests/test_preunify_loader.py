@@ -6,7 +6,6 @@ from repro.edb.loader import DynamicLoader
 from repro.edb.preunify import PreUnifier
 from repro.edb.store import ExternalStore
 from repro.engine.session import EduceStar
-from repro.lang.reader import read_terms
 from repro.wam.machine import Machine
 
 

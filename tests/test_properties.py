@@ -11,7 +11,6 @@ These pin the system's load-bearing invariants:
   loaded.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.engine.session import EduceStar
@@ -291,3 +290,127 @@ def test_optimizer_differential_fuzz_unindexed():
     full = Machine(optimize="full", index=False)
     for seed in range(200, 230):
         _optimizer_fuzz_case(seed, off, full)
+
+# ================================================================
+# Whole-program analysis soundness (docs/ANALYSIS.md)
+# ================================================================
+
+def _is_ground_term(term):
+    if isinstance(term, Var):
+        return False
+    if isinstance(term, Struct):
+        return all(_is_ground_term(a) for a in term.args)
+    return True
+
+
+def _modes_conforming_goal(ind, call_modes, rng):
+    """A top-level goal at least as bound as the inferred call modes:
+    ground terms where the analysis proved ground/nonvar, fresh
+    variables elsewhere.  Such a call sits below the call abstraction,
+    so the inferred success modes and cardinality bounds apply."""
+    from repro.analysis.global_ import ANY
+    name, arity = ind
+    args, var_names = [], []
+    for i, m in enumerate(call_modes):
+        if m == ANY:
+            args.append(f"M{i}")
+            var_names.append((i, f"M{i}"))
+        elif rng.random() < 0.7:
+            args.append(rng.choice(_FUZZ_ATOMS))
+        else:
+            args.append(str(rng.randint(0, 5)))
+    goal = f"{name}({', '.join(args)})" if arity else name
+    return goal, var_names
+
+
+def _modes_soundness_case(seed, machine):
+    import random
+
+    from repro.analysis.global_ import (GROUND, NONVAR, analyze_program,
+                                        program_from_text)
+
+    rng = random.Random(seed)
+    program_text = _random_program(rng)
+    machine.consult(program_text)
+    report = analyze_program(program_from_text(program_text))
+    assert not report.modes.widened, (
+        f"modes fuzz seed={seed}: fixpoint widened on a program this "
+        f"small\n{program_text}")
+
+    limit = 60
+    for ind, info in sorted(report.infos.items()):
+        if info.source != "clauses":
+            continue
+        goal, var_names = _modes_conforming_goal(
+            ind, info.call_modes, rng)
+        solutions = []
+        for sol in machine.solve(goal):
+            solutions.append(dict(sol.bindings))
+            if len(solutions) >= limit:
+                break
+
+        # Success-mode soundness: every answer binding at a position
+        # inferred ground/nonvar must actually be ground/nonvar.
+        for bindings in solutions:
+            for pos, var_name in var_names:
+                value = bindings.get(var_name)
+                if value is None:
+                    continue
+                succ = info.success_modes[pos]
+                if succ == GROUND:
+                    assert _is_ground_term(value), (
+                        f"modes fuzz seed={seed}: {goal} bound "
+                        f"{var_name}={value!r} but position {pos} of "
+                        f"{info.indicator} has success mode ground\n"
+                        f"{program_text}")
+                elif succ == NONVAR:
+                    assert not isinstance(value, Var), (
+                        f"modes fuzz seed={seed}: {goal} left "
+                        f"{var_name} unbound but position {pos} of "
+                        f"{info.indicator} has success mode nonvar\n"
+                        f"{program_text}")
+
+        # Cardinality soundness: the observed solution count must sit
+        # inside the inferred [min, max] interval.
+        low, high = report.cards.cards[ind]
+        count = len(solutions)
+        assert count >= low, (
+            f"modes fuzz seed={seed}: {goal} produced {count} "
+            f"solution(s), below the inferred minimum {low} "
+            f"({info.determinism})\n{program_text}")
+        if count < limit:
+            assert count <= high, (
+                f"modes fuzz seed={seed}: {goal} produced {count} "
+                f"solution(s), above the inferred maximum {high} "
+                f"({info.determinism})\n{program_text}")
+
+
+def test_global_analysis_soundness_fuzz():
+    """≥100 random programs: for calls conforming to the inferred call
+    modes, observed runtime bindings respect the inferred success
+    modes and observed solution counts respect the inferred
+    cardinality interval."""
+    machine = Machine(optimize="full")
+    for seed in range(110):
+        _modes_soundness_case(seed, machine)
+
+
+def test_global_analysis_corpus_totality():
+    """The fixpoint terminates without widening on every shipped
+    corpus unit, and the analysis is total: every defined predicate
+    gets call modes, success modes, and a determinism class."""
+    from repro.analysis.corpus import corpus_entries
+    from repro.analysis.global_ import analyze_program, program_from_text
+
+    for entry in corpus_entries():
+        program = program_from_text(entry.text,
+                                    extra_defined=tuple(entry.extra_defined))
+        report = analyze_program(program)
+        assert not report.modes.widened, entry.name
+        for ind in program.clauses:
+            info = report.infos[ind]
+            assert info.call_modes is not None, (entry.name, ind)
+            assert info.success_modes is not None, (entry.name, ind)
+            assert info.determinism in ("fails", "det", "semidet",
+                                        "multi", "nondet"), \
+                (entry.name, ind)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 
 from repro.errors import SyntaxError_
-from repro.lang.operators import OperatorTable, default_operators
+from repro.lang.operators import default_operators
 from repro.lang.reader import Reader, read_term, read_terms
 from repro.lang.writer import term_to_text
 from repro.terms import NIL, Atom, Struct, Var, list_to_python

@@ -19,7 +19,7 @@ import threading
 
 import pytest
 
-from repro.bang.faults import FaultInjector, NULL_FAULTS
+from repro.bang.faults import FaultInjector
 from repro.bang.wal import WriteAheadLog, _FRAME
 from repro.dictionary import SegmentedDictionary
 from repro.edb.store import ExternalStore

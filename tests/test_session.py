@@ -1,11 +1,9 @@
 """End-to-end tests for EduceStar sessions and the Educe baseline."""
 
-import pytest
 
 from repro.engine.educe_baseline import EduceBaseline
 from repro.engine.session import EduceStar
 from repro.engine.stats import measure
-from repro.lang.writer import term_to_text
 
 
 class TestEduceStar:

@@ -1,6 +1,5 @@
 """Tests for counters and the 1990-hardware cost model."""
 
-import pytest
 
 from repro.engine.stats import (
     SUN_3_60_MIPS,

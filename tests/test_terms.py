@@ -1,7 +1,7 @@
 """Unit tests for the surface term model."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given
 
 from repro.errors import TypeError_
 from repro.terms import (

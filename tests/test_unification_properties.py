@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lang.writer import term_to_text
-from repro.terms import Atom, Struct, Var, terms_equal
+from repro.terms import Struct, Var, terms_equal
 from repro.wam.machine import Machine
 
 from .conftest import ground_terms

@@ -9,14 +9,13 @@ wrong data.
 """
 
 import os
-import struct
 import zlib
 
 import pytest
 
 from repro.bang.faults import (FaultInjector, InjectedCrash,
                                InjectedIOError, NULL_FAULTS)
-from repro.bang.pager import FileDiskStore, Pager
+from repro.bang.pager import FileDiskStore
 from repro.bang.wal import WriteAheadLog
 from repro.dictionary import SegmentedDictionary
 from repro.edb.store import (CHECKPOINT_MAGIC, CHECKPOINT_VERSION,

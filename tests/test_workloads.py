@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.engine.session import EduceStar
-from repro.engine.stats import measure
 from repro.lang.writer import term_to_text
 from repro.workloads import integrity as ic
 from repro.workloads import mvv, wisconsin

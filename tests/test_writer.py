@@ -1,6 +1,5 @@
 """Unit tests for the term writer."""
 
-import pytest
 
 from repro.lang.reader import read_term
 from repro.lang.writer import format_clause, term_to_text
